@@ -1,0 +1,33 @@
+// Command dagarea prints the Table 3 hardware cost of the DAGguise shaper:
+// the rDAG computation logic gate count and the private transaction queue
+// SRAM, with 45nm areas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dagguise/internal/area"
+)
+
+func main() {
+	domains := flag.Int("domains", 8, "protected security domains (shaper instances)")
+	banks := flag.Int("banks", 8, "banks per shaper")
+	weightBits := flag.Int("weight-bits", 16, "rDAG weight register width")
+	entries := flag.Int("queue-entries", 8, "private queue entries per domain")
+	flag.Parse()
+
+	cfg := area.Table3Config()
+	cfg.Domains = *domains
+	cfg.Banks = *banks
+	cfg.WeightBits = *weightBits
+	cfg.QueueEntries = *entries
+
+	res, err := area.Estimate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagarea:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Table 3: DAGguise area for %d protected domains\n%s\n", cfg.Domains, res)
+}

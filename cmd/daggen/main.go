@@ -1,0 +1,50 @@
+// Command daggen is the rDAG generation tool (the artifact's
+// dag_generator.py): it instantiates a defense rDAG template and emits a
+// finite unrolling as JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	daggen -sequences 4 -weight 300 -banks 8 -unroll 4            # JSON
+//	daggen -sequences 2 -weight 600 -banks 8 -unroll 8 -dot       # DOT
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dagguise/internal/rdag"
+)
+
+func main() {
+	sequences := flag.Int("sequences", 4, "parallel sequences")
+	weight := flag.Uint64("weight", 300, "uniform edge weight in CPU cycles")
+	writeRatio := flag.Float64("write-ratio", 0.001, "fraction of write vertices")
+	banks := flag.Int("banks", 8, "banks in the machine")
+	unroll := flag.Int("unroll", 4, "vertices per sequence in the output graph")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	flag.Parse()
+
+	tpl := rdag.Template{
+		Sequences:  *sequences,
+		Weight:     *weight,
+		WriteRatio: *writeRatio,
+		Banks:      *banks,
+	}
+	g, err := tpl.Unroll(*unroll)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daggen:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(g.DOT("defense"))
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		fmt.Fprintln(os.Stderr, "daggen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Command dagsat exposes the built-in CDCL SAT solver as a standalone
+// DIMACS solver, so the verification back-end can be exercised (and
+// cross-checked against other solvers) on standard .cnf files.
+//
+//	dagsat problem.cnf      # solve a file
+//	dagsat -                # solve stdin
+//	dagsat -model file.cnf  # print the satisfying assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dagguise/internal/sat"
+)
+
+func main() {
+	model := flag.Bool("model", false, "print the model on SAT")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dagsat [-model] <file.cnf | ->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	s := sat.New()
+	clauses, err := s.ParseDIMACS(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("c parsed %d clauses over %d variables\n", clauses, s.NumVars())
+	if s.Solve() == sat.Sat {
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v ")
+			for v := 1; v <= s.NumVars(); v++ {
+				if s.Value(v) {
+					fmt.Printf("%d ", v)
+				} else {
+					fmt.Printf("-%d ", v)
+				}
+			}
+			fmt.Println("0")
+		}
+		return
+	}
+	fmt.Println("s UNSATISFIABLE")
+	os.Exit(20) // conventional UNSAT exit code; SAT exits 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagsat:", err)
+	os.Exit(1)
+}

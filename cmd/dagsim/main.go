@@ -1,0 +1,61 @@
+// Command dagsim runs the multi-programmed performance experiments and
+// prints the Figure 9 (two-core) or Figure 10 (eight-core) rows: the
+// normalized IPC of the protected victims and the SPEC-like co-runners
+// under FS-BTA and DAGguise, relative to the insecure baseline.
+//
+// Usage:
+//
+//	dagsim -cores 2                 # Figure 9 over all 15 co-runners
+//	dagsim -cores 8 -apps lbm,xz    # Figure 10 on a subset
+//	dagsim -cores 2 -window 200000  # shorter measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dagguise/internal/eval"
+)
+
+func main() {
+	cores := flag.Int("cores", 2, "system size: 2 (Figure 9) or 8 (Figure 10)")
+	apps := flag.String("apps", "", "comma-separated co-runner subset (default: all 15)")
+	warmup := flag.Uint64("warmup", eval.DefaultOptions().Warmup, "warmup cycles per run")
+	window := flag.Uint64("window", eval.DefaultOptions().Window, "measurement cycles per run")
+	flag.Parse()
+
+	opts := eval.Options{Warmup: *warmup, Window: *window}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	switch *cores {
+	case 2:
+		res, err := eval.Figure9(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 9: average normalized IPC, DocDist + one SPEC app on two cores")
+		fmt.Print(eval.FormatFigure9(res))
+		fmt.Printf("\nDAGguise vs FS-BTA system speedup: %.1f%%\n",
+			(res.DAGguiseGeomean/res.FSBTAGeomean-1)*100)
+	case 8:
+		res, err := eval.Figure10(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 10: average normalized IPC, 2xDocDist + 2xDNA + 4xSPEC on eight cores")
+		fmt.Print(eval.FormatFigure10(res))
+		fmt.Printf("\nDAGguise vs FS-BTA system speedup: %.1f%%\n",
+			(res.DAGguiseGeomean/res.FSBTAGeomean-1)*100)
+	default:
+		fatal(fmt.Errorf("unsupported core count %d (use 2 or 8)", *cores))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command dagtrace records and inspects victim memory traces.
+//
+//	dagtrace -victim docdist -secret 42 -o docdist.trc   # record
+//	dagtrace -i docdist.trc                               # inspect
+//
+// Recorded traces are the transmitters of the evaluation: the secret seed
+// selects the private input (document or DNA read), and the trace captures
+// the algorithm's secret-dependent memory behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+)
+
+func main() {
+	vic := flag.String("victim", "docdist", "victim application: docdist or dna")
+	secret := flag.Int64("secret", 42, "secret seed selecting the private input")
+	out := flag.String("o", "", "write the recorded trace to this file")
+	in := flag.String("i", "", "inspect an existing trace file instead of recording")
+	flag.Parse()
+
+	if *in != "" {
+		inspect(*in)
+		return
+	}
+
+	var tr *trace.Slice
+	var err error
+	switch *vic {
+	case "docdist":
+		tr, err = victim.DocDistTrace(*secret, victim.DefaultDocDist())
+	case "dna":
+		tr, err = victim.DNATrace(*secret, victim.DefaultDNA())
+	default:
+		err = fmt.Errorf("unknown victim %q", *vic)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		summarize(*vic, tr)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d ops of %s (secret %d) to %s\n", len(tr.Ops), *vic, *secret, *out)
+}
+
+func inspect(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	summarize(path, tr)
+}
+
+func summarize(name string, tr *trace.Slice) {
+	st := trace.Summarize(tr)
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  %d memory ops (%d reads, %d writes, %d dependent)\n", st.Ops, st.Reads, st.Writes, st.Dependent)
+	fmt.Printf("  %d instructions, %.1f memory ops per kilo-instruction\n",
+		st.Instructions, float64(st.Ops)/float64(st.Instructions)*1000)
+	fmt.Printf("  %d distinct cache lines (%.1f MiB footprint)\n",
+		st.DistinctLines, float64(st.DistinctLines)*64/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package dagguise
+
+import "dagguise/internal/energy"
+
+// EnergyParams holds per-operation DRAM energies.
+type EnergyParams = energy.Params
+
+// EnergyCounts are the operation tallies of a simulation window.
+type EnergyCounts = energy.Counts
+
+// EnergyResult is a DRAM energy breakdown in nanojoules.
+type EnergyResult = energy.Result
+
+// DDR3EnergyDefaults returns representative 2Gb DDR3-1600 energies.
+func DDR3EnergyDefaults() EnergyParams { return energy.DDR3Defaults() }
+
+// EstimateEnergy computes the DRAM energy of a simulation window,
+// including the cost of fake requests under the suppression optimisation
+// of §4.4.
+func EstimateEnergy(p EnergyParams, c EnergyCounts) (EnergyResult, error) {
+	return energy.Estimate(p, c)
+}
+
+// FakeEnergyOverhead returns the fraction of total DRAM energy spent on
+// fake requests.
+func FakeEnergyOverhead(p EnergyParams, c EnergyCounts) (float64, error) {
+	return energy.FakeOverhead(p, c)
+}
+
+// SuppressionSaving returns the energy saved by suppressing fakes instead
+// of performing them at the DIMMs, as a fraction.
+func SuppressionSaving(p EnergyParams, c EnergyCounts) (float64, error) {
+	return energy.SuppressionSaving(p, c)
+}

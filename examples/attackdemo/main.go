@@ -1,0 +1,52 @@
+// Attack demonstration: the memory timing side channel end to end.
+//
+// First the Figure 1 primer: the attacker's own probe latency classifies
+// the victim's behaviour (idle / different bank / same bank same row /
+// same bank different row) on an unprotected memory controller.
+//
+// Then the leakage comparison across every scheme, including Camouflage's
+// Figure 2 failure: its interval distribution is enforced, but the
+// *ordering* of intervals and the banks of forwarded requests still leak.
+//
+// Run with: go run ./examples/attackdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagguise"
+)
+
+func main() {
+	fmt.Println("Figure 1 — what an attacker sees on an unprotected controller:")
+	rows, err := dagguise.Figure1Primer(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  victim: %-28s attacker mean latency %6.1f cycles\n", r.Scenario, r.MeanLatency)
+	}
+	fmt.Println("  -> bank and row behaviour of the victim is readable from the attacker's own latency")
+
+	fmt.Println("\nLeakage of a one-bit secret (Figure 5 patterns) per scheme:")
+	secret0 := dagguise.AttackPattern{Gaps: []uint64{100}, Banks: []int{0, 1, 2, 3}}
+	secret1 := dagguise.AttackPattern{Gaps: []uint64{200}, Banks: []int{0, 1, 2, 3}}
+	probe := dagguise.AttackProbe{Bank: 0, Row: 0, Gap: 120}
+	dist := dagguise.CamouflageDistribution{Intervals: []uint64{200, 400}}
+
+	fmt.Printf("  %-12s %14s %14s %10s\n", "scheme", "histogram MI", "sequence MI", "accuracy")
+	for _, scheme := range []dagguise.Scheme{
+		dagguise.Insecure, dagguise.Camouflage, dagguise.FixedService,
+		dagguise.FSBTA, dagguise.TemporalPartitioning, dagguise.DAGguise,
+	} {
+		res, err := dagguise.MeasureLeakage(scheme, dagguise.Template{}, dist,
+			secret0, secret1, probe, 150, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %14.4f %14.4f %10.2f\n", scheme, res.AggregateMI, res.SequenceMI, res.Accuracy)
+	}
+	fmt.Println("\n  -> Camouflage hides the aggregate histogram but not the fine-grained schedule (Figure 2);")
+	fmt.Println("     FS / FS-BTA / TP / DAGguise leave the attacker at coin-flip accuracy")
+}

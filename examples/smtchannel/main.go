@@ -1,0 +1,43 @@
+// The §7 generalisation: DAGguise beyond memory controllers.
+//
+// The shared resource here is the functional-unit ports of an SMT core
+// (the PORTSMASH channel): a victim computes a square-and-multiply-style
+// operation whose use of the non-pipelined divider encodes its key bits,
+// while an attacker thread times its own divider probes. Shaping the
+// victim's dispatch stream with the *same* rDAG machinery that shapes
+// memory traffic closes the channel.
+//
+// Run with: go run ./examples/smtchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dagguise"
+)
+
+func main() {
+	key0 := []int{0, 1, 0, 0, 1, 0, 1, 0} // two candidate secrets
+	key1 := []int{1, 1, 1, 0, 0, 1, 1, 1}
+
+	res, err := dagguise.SMTMeasureLeakage(key0, key1, dagguise.SMTDefaultDefense(), 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SMT functional-unit port channel (attacker times its own divider probes):")
+	fmt.Printf("  unshaped victim:        %.3f bits/probe leaked\n", res.InsecureMI)
+	fmt.Printf("  DAGguise port shaper:   %.3f bits/probe leaked\n", res.ShapedMI)
+
+	// Show a few raw attacker observations for colour.
+	insecure0, _ := dagguise.SMTRunChannel(dagguise.SMTSecretTrace(key0), false, dagguise.SMTDefaultDefense(), 12)
+	insecure1, _ := dagguise.SMTRunChannel(dagguise.SMTSecretTrace(key1), false, dagguise.SMTDefaultDefense(), 12)
+	shaped0, _ := dagguise.SMTRunChannel(dagguise.SMTSecretTrace(key0), true, dagguise.SMTDefaultDefense(), 12)
+	shaped1, _ := dagguise.SMTRunChannel(dagguise.SMTSecretTrace(key1), true, dagguise.SMTDefaultDefense(), 12)
+	fmt.Println("\n  attacker probe latencies (cycles):")
+	fmt.Printf("  unshaped, secret A: %v\n", insecure0)
+	fmt.Printf("  unshaped, secret B: %v\n", insecure1)
+	fmt.Printf("  shaped,   secret A: %v\n", shaped0)
+	fmt.Printf("  shaped,   secret B: %v\n", shaped1)
+	fmt.Println("\n  the shaped rows are identical: the schedule the attacker contends with is the rDAG's, not the victim's")
+}

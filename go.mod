@@ -1,0 +1,3 @@
+module dagguise
+
+go 1.22

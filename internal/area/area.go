@@ -1,0 +1,110 @@
+// Package area reproduces the Table 3 hardware cost evaluation: a
+// gate-count model of the shaper's rDAG computation logic (which the paper
+// synthesised with YoSys against the 45nm FreePDK45 library) and an SRAM
+// bit-cell model of the per-domain private transaction queues (which the
+// paper sized with CACTI). The structural formulas follow §4.4's
+// description of the state the logic must track — per bank: a
+// waiting-for-response bit, a read/write bit and a countdown to the next
+// prescribed request — and the constants are calibrated to
+// FreePDK45/CACTI 45nm values.
+package area
+
+import "fmt"
+
+// Config parameterises the shaper hardware.
+type Config struct {
+	// Domains is the number of parallel shaper instances (protected
+	// security domains).
+	Domains int
+	// Banks per shaper (one sequence state machine per bank).
+	Banks int
+	// WeightBits is the rDAG edge-weight register width.
+	WeightBits int
+	// QueueEntries is the private transaction queue depth per domain.
+	QueueEntries int
+	// EntryBytes is the size of one queue entry: a 64-bit address plus
+	// 64 bytes of write data.
+	EntryBytes int
+}
+
+// Table3Config returns the configuration evaluated in the paper: eight
+// shapers, eight banks each, 16-bit weights, eight 72-byte queue entries.
+func Table3Config() Config {
+	return Config{Domains: 8, Banks: 8, WeightBits: 16, QueueEntries: 8, EntryBytes: 72}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Domains <= 0 || c.Banks <= 0 || c.WeightBits <= 0 || c.QueueEntries <= 0 || c.EntryBytes <= 0 {
+		return fmt.Errorf("area: all parameters must be positive: %+v", c)
+	}
+	return nil
+}
+
+// FreePDK45 calibration constants.
+const (
+	// flopGates is the NAND2-equivalent gate count of one flip-flop.
+	flopGates = 6
+	// counterGatesPerBit covers a loadable down-counter bit (flop +
+	// decrement logic + load mux).
+	counterGatesPerBit = 11
+	// compareGatesPerBit covers the zero-detect tree per counter bit.
+	compareGatesPerBit = 1
+	// ctrlGatesPerBank covers the per-bank slice of the emission
+	// arbiter and queue-match logic.
+	ctrlGatesPerBank = 5
+	// ctrlGatesFixed covers the per-domain FSM.
+	ctrlGatesFixed = 6
+	// gateAreaUm2 is the average placed-and-routed NAND2-equivalent
+	// cell area in FreePDK45 at 45nm.
+	gateAreaUm2 = 1.506
+	// sramBitAreaUm2 is the CACTI 45nm SRAM area per bit including
+	// peripheral overheads at these small macro sizes.
+	sramBitAreaUm2 = 0.4625
+)
+
+// Result is the Table 3 breakdown.
+type Result struct {
+	// ComputationGates is the NAND2-equivalent gate count of the rDAG
+	// computation logic across all domains.
+	ComputationGates int
+	// ComputationAreaMM2 is its area in mm².
+	ComputationAreaMM2 float64
+	// SRAMBytes is the total private-queue storage.
+	SRAMBytes int
+	// SRAMAreaMM2 is its area in mm².
+	SRAMAreaMM2 float64
+	// TotalAreaMM2 is the full DAGguise footprint.
+	TotalAreaMM2 float64
+}
+
+// Estimate computes the hardware cost of the configuration.
+func Estimate(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Per bank: waiting bit, read/write bit, weight down-counter and its
+	// zero detect (§4.4: "a bit to indicate whether the shaper is
+	// waiting for a response, a bit to indicate whether the next request
+	// is a read or write, and a counter ... until the next request").
+	perBank := 2*flopGates + c.WeightBits*(counterGatesPerBit+compareGatesPerBit)
+	perDomain := c.Banks*perBank + c.Banks*ctrlGatesPerBank + ctrlGatesFixed
+	gates := c.Domains * perDomain
+
+	sramBytes := c.Domains * c.QueueEntries * c.EntryBytes
+	res := Result{
+		ComputationGates:   gates,
+		ComputationAreaMM2: float64(gates) * gateAreaUm2 / 1e6,
+		SRAMBytes:          sramBytes,
+		SRAMAreaMM2:        float64(sramBytes*8) * sramBitAreaUm2 / 1e6,
+	}
+	res.TotalAreaMM2 = res.ComputationAreaMM2 + res.SRAMAreaMM2
+	return res, nil
+}
+
+// String renders the result as the Table 3 rows.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"Computation Logic: %d gates, %.5f mm^2\nPrivate Queues: %d B SRAM, %.5f mm^2\nTotal: %.5f mm^2",
+		r.ComputationGates, r.ComputationAreaMM2, r.SRAMBytes, r.SRAMAreaMM2, r.TotalAreaMM2)
+}

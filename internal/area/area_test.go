@@ -1,0 +1,63 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable3Reproduction(t *testing.T) {
+	res, err := Estimate(Table3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 3: 13424 gates, 0.02022 mm²; 4608 B SRAM, 0.01705 mm²;
+	// total 0.03727 mm².
+	if res.ComputationGates != 13424 {
+		t.Fatalf("gates = %d, want 13424", res.ComputationGates)
+	}
+	if math.Abs(res.ComputationAreaMM2-0.02022) > 0.0002 {
+		t.Fatalf("computation area = %.5f, want ~0.02022", res.ComputationAreaMM2)
+	}
+	if res.SRAMBytes != 4608 {
+		t.Fatalf("SRAM bytes = %d, want 4608", res.SRAMBytes)
+	}
+	if math.Abs(res.SRAMAreaMM2-0.01705) > 0.0002 {
+		t.Fatalf("SRAM area = %.5f, want ~0.01705", res.SRAMAreaMM2)
+	}
+	if math.Abs(res.TotalAreaMM2-0.03727) > 0.0004 {
+		t.Fatalf("total = %.5f, want ~0.03727", res.TotalAreaMM2)
+	}
+}
+
+func TestAreaScalesWithDomains(t *testing.T) {
+	one := Table3Config()
+	one.Domains = 1
+	r1, err := Estimate(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, _ := Estimate(Table3Config())
+	if r8.ComputationGates != 8*r1.ComputationGates {
+		t.Fatalf("gates do not scale linearly: %d vs 8x%d", r8.ComputationGates, r1.ComputationGates)
+	}
+	if r8.SRAMBytes != 8*r1.SRAMBytes {
+		t.Fatal("SRAM does not scale linearly")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Table3Config()
+	bad.Banks = 0
+	if _, err := Estimate(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	res, _ := Estimate(Table3Config())
+	s := res.String()
+	if !strings.Contains(s, "13424") || !strings.Contains(s, "Total") {
+		t.Fatalf("rendering incomplete: %s", s)
+	}
+}

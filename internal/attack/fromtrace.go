@@ -1,0 +1,57 @@
+package attack
+
+import (
+	"fmt"
+
+	"dagguise/internal/cache"
+	"dagguise/internal/config"
+	"dagguise/internal/mem"
+	"dagguise/internal/trace"
+)
+
+// PatternFromTrace distils a recorded victim trace into an attack Pattern:
+// it replays the trace through a cache hierarchy and keeps the LLC-miss
+// stream — the requests that actually reach the memory controller — as
+// (gap, bank, row) triples. This lets the leakage experiments use *real*
+// application behaviour (two DocDist documents, two DNA reads) as the
+// transmitter instead of synthetic schedules.
+//
+// Gaps are estimated as the instruction distance between consecutive
+// misses divided by the core's issue width — the zero-contention injection
+// spacing, which is what a closed-loop Pattern needs.
+func PatternFromTrace(tr *trace.Slice, maxRequests int) (Pattern, error) {
+	if maxRequests <= 0 {
+		maxRequests = 256
+	}
+	cfg := config.Default(1, config.Insecure)
+	hier, err := cache.NewHierarchy(cfg)
+	if err != nil {
+		return Pattern{}, err
+	}
+	mapper := mem.MustMapper(cfg.Geometry)
+	var p Pattern
+	instSinceMiss := uint64(0)
+	for _, op := range tr.Ops {
+		instSinceMiss += uint64(op.Gap) + 1
+		res := hier.Access(op.Addr, op.Kind == mem.Write)
+		if !res.MissToMem || op.Kind == mem.Write {
+			continue
+		}
+		c := mapper.Decode(op.Addr)
+		gap := instSinceMiss / uint64(cfg.Core.IssueWidth)
+		if gap == 0 {
+			gap = 1
+		}
+		p.Gaps = append(p.Gaps, gap)
+		p.Banks = append(p.Banks, mapper.FlatBank(c))
+		p.Rows = append(p.Rows, c.Row)
+		instSinceMiss = 0
+		if len(p.Gaps) >= maxRequests {
+			break
+		}
+	}
+	if len(p.Gaps) == 0 {
+		return Pattern{}, fmt.Errorf("attack: trace produced no LLC misses")
+	}
+	return p, nil
+}

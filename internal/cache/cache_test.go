@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dagguise/internal/config"
+)
+
+func smallLevel() config.CacheLevel {
+	return config.CacheLevel{SizeBytes: 1024, Ways: 2, LineBytes: 64, LatencyCycles: 4}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(config.CacheLevel{SizeBytes: 1000, Ways: 3, LineBytes: 64, LatencyCycles: 1}); err == nil {
+		t.Fatal("non-power-of-two set count accepted")
+	}
+	if _, err := New(config.CacheLevel{SizeBytes: 1024, Ways: 2, LineBytes: 48, LatencyCycles: 1}); err == nil {
+		t.Fatal("non-power-of-two line accepted")
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := MustNew(smallLevel())
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("miss after insert")
+	}
+	if !c.Lookup(0x1040, false) == true && c.Lookup(0x1040, false) {
+		t.Fatal("different line hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1KiB, 2-way, 64B lines: 8 sets. Three lines mapping to set 0:
+	// line numbers 0, 8, 16 (addresses 0, 512, 1024... set = line & 7).
+	c := MustNew(smallLevel())
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Insert(a, false)
+	c.Insert(b, false)
+	c.Lookup(a, false) // a most recent
+	v, ev := c.Insert(d, false)
+	if !ev {
+		t.Fatal("no eviction from full set")
+	}
+	if v.Addr != b {
+		t.Fatalf("evicted %#x, want LRU line %#x", v.Addr, b)
+	}
+	if !c.Lookup(a, false) || c.Lookup(b, false) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := MustNew(smallLevel())
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Insert(a, true)
+	c.Insert(b, false)
+	c.Lookup(b, false)
+	v, ev := c.Insert(d, false)
+	if !ev || !v.Dirty || v.Addr != a {
+		t.Fatalf("dirty eviction wrong: %+v ev=%v", v, ev)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Fatal("dirty eviction not counted")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := MustNew(smallLevel())
+	c.Insert(0, false)
+	if _, ev := c.Insert(0, true); ev {
+		t.Fatal("re-insert evicted")
+	}
+	// Line should now be dirty: evicting it must report dirty.
+	c.Insert(8*64, false)
+	v, ev := c.Insert(16*64, false)
+	if !ev || !v.Dirty {
+		t.Fatalf("expected dirty eviction of refreshed line, got %+v ev=%v", v, ev)
+	}
+}
+
+func TestMarkDirtyOnLookup(t *testing.T) {
+	c := MustNew(smallLevel())
+	c.Insert(0, false)
+	c.Lookup(0, true) // store hit
+	c.Insert(8*64, false)
+	v, _ := c.Insert(16*64, false)
+	if !v.Dirty {
+		t.Fatal("store hit did not mark line dirty")
+	}
+}
+
+func testSystem() config.SystemConfig {
+	cfg := config.Default(1, config.Insecure)
+	// Shrink the hierarchy so tests exercise evictions quickly.
+	cfg.L1 = config.CacheLevel{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 4}
+	cfg.L2 = config.CacheLevel{SizeBytes: 2 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 13}
+	cfg.L3 = config.CacheLevel{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 42}
+	return cfg
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Access(0x10000, false)
+	if r.Level != 4 || !r.MissToMem {
+		t.Fatalf("cold access level = %d, MissToMem=%v", r.Level, r.MissToMem)
+	}
+	r = h.Access(0x10000, false)
+	if r.Level != 1 || r.Latency != 4 {
+		t.Fatalf("second access level = %d lat=%d, want L1/4", r.Level, r.Latency)
+	}
+}
+
+func TestHierarchyWritebackToMemory(t *testing.T) {
+	h, err := NewHierarchy(testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a line, then stream enough lines through to push it out of
+	// all three levels.
+	h.Access(0, true)
+	sawWB := false
+	for i := uint64(1); i < 4096; i++ {
+		r := h.Access(i*64*8, false) // same set stride to force evictions
+		for _, wb := range r.Writebacks {
+			if wb == 0 {
+				sawWB = true
+			}
+		}
+	}
+	if !sawWB {
+		t.Fatal("dirty line never written back to memory")
+	}
+}
+
+func TestHierarchyStoreMissesRequestFill(t *testing.T) {
+	h, err := NewHierarchy(testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Access(0x2000, true)
+	if !r.MissToMem {
+		t.Fatal("store miss did not request a write-allocate fill")
+	}
+	// After allocation the line is present and dirty.
+	r = h.Access(0x2000, false)
+	if r.Level != 1 {
+		t.Fatalf("allocated line not in L1: level %d", r.Level)
+	}
+}
+
+func TestHierarchyContains(t *testing.T) {
+	h, _ := NewHierarchy(testSystem())
+	if h.Contains(0x40) {
+		t.Fatal("cold hierarchy contains line")
+	}
+	h.Access(0x40, false)
+	if !h.Contains(0x40) {
+		t.Fatal("line lost after access")
+	}
+}
+
+func TestPrefetchFillLandsInL2L3(t *testing.T) {
+	h, _ := NewHierarchy(testSystem())
+	h.PrefetchFill(0x80)
+	r := h.Access(0x80, false)
+	if r.Level != 2 {
+		t.Fatalf("prefetched line found at level %d, want L2", r.Level)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	h, _ := NewHierarchy(testSystem())
+	for i := uint64(0); i < 100; i++ {
+		h.Access(i*64*64, false)
+	}
+	if got := h.MPKI(100_000); got <= 0 {
+		t.Fatalf("MPKI = %f, want > 0", got)
+	}
+	if h.MPKI(0) != 0 {
+		t.Fatal("MPKI with zero instructions should be 0")
+	}
+}
+
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: after any access pattern, the number of distinct
+	// resident lines equals insertions minus evictions and never exceeds
+	// sets*ways.
+	f := func(addrs []uint16) bool {
+		c := MustNew(smallLevel())
+		inserted, evicted := 0, 0
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			if !c.Lookup(addr, false) {
+				_, ev := c.Insert(addr, false)
+				inserted++
+				if ev {
+					evicted++
+				}
+			}
+		}
+		resident := inserted - evicted
+		return resident <= 16 && resident >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyInclusionOnHitPath(t *testing.T) {
+	h, _ := NewHierarchy(testSystem())
+	h.Access(0x40, false) // miss everywhere, fill all levels
+	// Evict from L1 only by filling its set (8 sets, 2 ways: stride 512).
+	h.Access(0x40+512, false)
+	h.Access(0x40+1024, false)
+	r := h.Access(0x40, false)
+	if r.Level == 4 {
+		t.Fatal("line lost from the entire hierarchy after L1 eviction")
+	}
+	if r.Level == 1 {
+		t.Fatal("line unexpectedly still in L1")
+	}
+}

@@ -1,0 +1,199 @@
+// Package camouflage implements the Camouflage baseline (Zhou et al.,
+// HPCA'17): a memory traffic shaper that forces the *distribution* of
+// inter-injection intervals to match a profiled target distribution, by
+// delaying real requests and issuing fake ones.
+//
+// Camouflage is included as a comparison point, not as a secure defense:
+// as §3.1 of the DAGguise paper shows (Figure 2), constraining only the
+// distribution leaves the *ordering* of intervals input-dependent, and the
+// scheme ignores bank information entirely (forwarded requests keep their
+// original banks). Both channels remain observable to a fine-grained
+// attacker, and the attack demonstration in internal/attack exploits them.
+//
+// This implementation draws each epoch's intervals from the target
+// distribution as a pool sampled without replacement. When a real request
+// is waiting, the shaper greedily picks the smallest adequate remaining
+// interval (to limit the victim's slowdown); otherwise it picks a random
+// one. Every epoch's emitted intervals exactly realise the target
+// distribution, yet their order — and the banks of forwarded requests —
+// depend on the victim's behaviour, reproducing the leak of Figure 2.
+package camouflage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dagguise/internal/mem"
+	"dagguise/internal/shaper"
+)
+
+// Distribution is an empirical distribution of inter-injection intervals
+// in CPU cycles, typically obtained by profiling the victim offline.
+type Distribution struct {
+	Intervals []uint64
+}
+
+// Validate checks the distribution is usable.
+func (d Distribution) Validate() error {
+	if len(d.Intervals) == 0 {
+		return fmt.Errorf("camouflage: empty interval distribution")
+	}
+	return nil
+}
+
+// Mean returns the average interval.
+func (d Distribution) Mean() float64 {
+	var sum uint64
+	for _, v := range d.Intervals {
+		sum += v
+	}
+	return float64(sum) / float64(len(d.Intervals))
+}
+
+// Stats aggregates shaper counters.
+type Stats struct {
+	Forwarded uint64
+	Fakes     uint64
+	Enqueued  uint64
+	Rejected  uint64
+}
+
+// Shaper shapes one domain's traffic to the target interval distribution.
+type Shaper struct {
+	domain   mem.Domain
+	dist     Distribution
+	mapper   *mem.Mapper
+	capacity int
+	alloc    shaper.IDAlloc
+	rng      *rand.Rand
+
+	queue    []mem.Request
+	pool     []uint64 // remaining intervals of the current epoch
+	lastEmit uint64
+	nextAt   uint64
+	started  bool
+	stats    Stats
+
+	rows    uint64
+	columns int
+	banks   int
+}
+
+// New builds a Camouflage shaper for the domain.
+func New(domain mem.Domain, dist Distribution, mapper *mem.Mapper, capacity int, alloc shaper.IDAlloc, seed int64) (*Shaper, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		capacity = 8
+	}
+	geo := mapper.Geometry()
+	return &Shaper{
+		domain:   domain,
+		dist:     dist,
+		mapper:   mapper,
+		capacity: capacity,
+		alloc:    alloc,
+		rng:      rand.New(rand.NewSource(seed)),
+		rows:     1 << 14,
+		columns:  geo.RowBytes / geo.LineBytes,
+		banks:    mapper.BankCount(),
+	}, nil
+}
+
+// Domain returns the protected domain.
+func (s *Shaper) Domain() mem.Domain { return s.domain }
+
+// Full reports whether the private queue is at capacity.
+func (s *Shaper) Full() bool { return len(s.queue) >= s.capacity }
+
+// QueueLen returns the private queue occupancy.
+func (s *Shaper) QueueLen() int { return len(s.queue) }
+
+// Enqueue accepts a real request from the domain.
+func (s *Shaper) Enqueue(req mem.Request, now uint64) bool {
+	if req.Domain != s.domain {
+		panic(fmt.Sprintf("camouflage: request domain %d routed to shaper for domain %d", req.Domain, s.domain))
+	}
+	if len(s.queue) >= s.capacity {
+		s.stats.Rejected++
+		return false
+	}
+	s.queue = append(s.queue, req)
+	s.stats.Enqueued++
+	return true
+}
+
+// refill starts a new epoch with a fresh copy of the distribution.
+func (s *Shaper) refill() {
+	s.pool = append(s.pool[:0], s.dist.Intervals...)
+	sort.Slice(s.pool, func(i, j int) bool { return s.pool[i] < s.pool[j] })
+}
+
+// pickInterval removes and returns the next interval: the smallest one
+// when a request is pending (input-dependent — the leak), or a uniformly
+// random one otherwise.
+func (s *Shaper) pickInterval(havePending bool) uint64 {
+	if len(s.pool) == 0 {
+		s.refill()
+	}
+	var idx int
+	if havePending {
+		idx = 0 // pool is sorted ascending
+	} else {
+		idx = s.rng.Intn(len(s.pool))
+	}
+	v := s.pool[idx]
+	s.pool = append(s.pool[:idx], s.pool[idx+1:]...)
+	return v
+}
+
+// Tick returns the requests to inject this cycle.
+func (s *Shaper) Tick(now uint64) []mem.Request {
+	if !s.started {
+		s.started = true
+		s.nextAt = now + s.pickInterval(len(s.queue) > 0)
+		return nil
+	}
+	if now < s.nextAt {
+		return nil
+	}
+	var req mem.Request
+	if len(s.queue) > 0 {
+		req = s.queue[0]
+		s.queue = s.queue[1:]
+		s.stats.Forwarded++
+	} else {
+		req = mem.Request{
+			ID:     s.alloc(),
+			Addr:   s.mapper.AddrForBank(s.rng.Intn(s.banks), uint64(s.rng.Int63n(int64(s.rows))), s.rng.Intn(s.columns)),
+			Kind:   mem.Read,
+			Domain: s.domain,
+			Fake:   true,
+		}
+		s.stats.Fakes++
+	}
+	req.Issue = now
+	s.lastEmit = now
+	s.nextAt = now + s.pickInterval(len(s.queue) > 0)
+	return []mem.Request{req}
+}
+
+// OnResponse reports whether the response should be delivered to the core.
+// Camouflage tracks nothing across responses.
+func (s *Shaper) OnResponse(resp mem.Response, now uint64) bool {
+	return !resp.Fake
+}
+
+// Stats returns cumulative counters.
+func (s *Shaper) Stats() Stats { return s.stats }
+
+// Reset clears the shaper state.
+func (s *Shaper) Reset() {
+	s.queue = s.queue[:0]
+	s.pool = s.pool[:0]
+	s.started = false
+	s.nextAt = 0
+	s.stats = Stats{}
+}

@@ -1,0 +1,63 @@
+package camouflage
+
+import (
+	"testing"
+
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+)
+
+func TestProfileVictimDerivesDistribution(t *testing.T) {
+	tr, err := victim.DocDistTrace(11, victim.DefaultDocDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ProfileVictim(&trace.Loop{Inner: tr}, 16, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Intervals) != 16 {
+		t.Fatalf("samples = %d, want 16", len(dist.Intervals))
+	}
+	// Quantile sampling: intervals are sorted ascending and positive.
+	for i, v := range dist.Intervals {
+		if v == 0 {
+			t.Fatal("zero interval in distribution")
+		}
+		if i > 0 && v < dist.Intervals[i-1] {
+			t.Fatal("intervals not sorted")
+		}
+	}
+	if dist.Mean() <= 0 || dist.Mean() > 100_000 {
+		t.Fatalf("implausible mean interval %f", dist.Mean())
+	}
+}
+
+func TestProfileVictimErrorsOnEmptyTrace(t *testing.T) {
+	if _, err := ProfileVictim(&trace.Slice{}, 8, 100); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestProfiledDistributionDrivesShaper(t *testing.T) {
+	tr, err := victim.DNATrace(3, victim.DefaultDNA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ProfileVictim(&trace.Loop{Inner: tr}, 8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMapper()
+	sh, err := New(1, dist, m, 8, alloc(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for now := uint64(0); now < 200_000 && emitted < 10; now++ {
+		emitted += len(sh.Tick(now))
+	}
+	if emitted < 10 {
+		t.Fatalf("shaper with profiled distribution emitted only %d requests", emitted)
+	}
+}

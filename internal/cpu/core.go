@@ -1,0 +1,344 @@
+// Package cpu implements the trace-driven out-of-order core model: a
+// ROB-sized instruction window, MSHR-limited outstanding misses and
+// dependency-limited memory-level parallelism. It reproduces the property
+// the evaluation depends on — IPC falls as memory latency grows and as
+// bandwidth shrinks, with a sensitivity set by each workload's miss
+// density and dependency structure (see DESIGN.md for the gem5
+// substitution rationale).
+package cpu
+
+import (
+	"fmt"
+
+	"dagguise/internal/cache"
+	"dagguise/internal/config"
+	"dagguise/internal/mem"
+	"dagguise/internal/trace"
+)
+
+// Port accepts memory requests from a core: either the memory controller's
+// transaction queue directly (unprotected domains) or a DAGguise/Camouflage
+// shaper's private queue (protected domains).
+type Port interface {
+	TryEnqueue(req mem.Request, now uint64) bool
+}
+
+// IDAlloc returns unique request IDs; all producers in a simulation share
+// one allocator.
+type IDAlloc func() uint64
+
+type opStatus int
+
+const (
+	stWaitDep opStatus = iota
+	stReady
+	stInMem
+	stDone
+)
+
+type slot struct {
+	op         trace.Op
+	seq        uint64
+	status     opStatus
+	completion uint64
+	reqID      uint64
+	gapLeft    int
+}
+
+// Stats aggregates core counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	MemOps       uint64
+	MemReads     uint64 // demand reads issued to memory (LLC misses)
+	Prefetches   uint64 // prefetch reads issued to memory
+	Writebacks   uint64
+	StallCycles  uint64 // cycles with zero retirement
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Core is one trace-driven core.
+type Core struct {
+	domain mem.Domain
+	src    trace.Source
+	hier   *cache.Hierarchy
+	cfg    config.CoreConfig
+	port   Port
+	alloc  IDAlloc
+
+	window    []slot
+	baseSeq   uint64 // seq of window[0]
+	nextSeq   uint64
+	instCount int // instructions represented in the window
+
+	outstanding int
+	reads       map[uint64]uint64 // reqID -> seq
+	wbQueue     []uint64
+
+	pf          *prefetcher
+	pfPending   []uint64          // prefetch lines awaiting a free slot/port
+	fillPending []uint64          // store-miss fill lines (write-allocate)
+	pfInMem     map[uint64]uint64 // reqID -> line address
+	pfIssued    map[uint64]bool   // lines with an in-flight prefetch/fill
+
+	exhausted bool
+	stats     Stats
+}
+
+// New builds a core for the domain reading ops from src through the given
+// cache hierarchy, sending misses to port.
+func New(domain mem.Domain, src trace.Source, hier *cache.Hierarchy, cfg config.CoreConfig, port Port, alloc IDAlloc) *Core {
+	return &Core{
+		domain:   domain,
+		src:      src,
+		hier:     hier,
+		cfg:      cfg,
+		port:     port,
+		alloc:    alloc,
+		reads:    make(map[uint64]uint64),
+		pf:       newPrefetcher(cfg.PrefetchDepth, cfg.PrefetchStreams),
+		pfInMem:  make(map[uint64]uint64),
+		pfIssued: make(map[uint64]bool),
+	}
+}
+
+// Domain returns the core's security domain.
+func (c *Core) Domain() mem.Domain { return c.domain }
+
+// Stats returns the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Hierarchy exposes the core's caches (for workload calibration).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Done reports whether a finite trace has fully retired.
+func (c *Core) Done() bool { return c.exhausted && len(c.window) == 0 }
+
+// depSatisfied reports whether the op's dependency has completed.
+func (c *Core) depSatisfied(s *slot) bool {
+	if s.op.Dep <= 0 {
+		return true
+	}
+	depSeq := s.seq - uint64(s.op.Dep)
+	if s.seq < uint64(s.op.Dep) || depSeq < c.baseSeq {
+		return true // dependency already retired
+	}
+	dep := &c.window[depSeq-c.baseSeq]
+	return dep.status == stDone
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	c.stats.Cycles++
+	c.fill()
+	c.issue(now)
+	c.issuePrefetches(now)
+	c.flushWritebacks(now)
+	c.retire(now)
+}
+
+// issuePrefetches drains pending store-fill and prefetch lines through the
+// port, bounded by a private outstanding budget so they never steal demand
+// MSHRs. Store fills skip the cache-presence filter: their line was
+// functionally allocated at store time, but the bus transfer still happens.
+func (c *Core) issuePrefetches(now uint64) {
+	budget := 2 * c.cfg.PrefetchDepth
+	if budget < 4 {
+		budget = 4
+	}
+	trySend := func(line uint64) bool {
+		id := c.alloc()
+		req := mem.Request{ID: id, Addr: line * 64, Kind: mem.Read, Domain: c.domain, Issue: now, Prefetch: true}
+		if !c.port.TryEnqueue(req, now) {
+			return false
+		}
+		c.pfIssued[line] = true
+		c.pfInMem[id] = line * 64
+		c.stats.Prefetches++
+		return true
+	}
+	for len(c.fillPending) > 0 && len(c.pfInMem) < budget {
+		line := c.fillPending[0]
+		if c.pfIssued[line] {
+			c.fillPending = c.fillPending[1:]
+			continue
+		}
+		if !trySend(line) {
+			return
+		}
+		c.fillPending = c.fillPending[1:]
+	}
+	for len(c.pfPending) > 0 && len(c.pfInMem) < budget {
+		line := c.pfPending[0]
+		if c.pfIssued[line] || c.hier.Contains(line*64) {
+			c.pfPending = c.pfPending[1:]
+			continue
+		}
+		if !trySend(line) {
+			return
+		}
+		c.pfPending = c.pfPending[1:]
+	}
+}
+
+func (c *Core) fill() {
+	for !c.exhausted && c.instCount < c.cfg.ROBEntries {
+		op, ok := c.src.Next()
+		if !ok {
+			c.exhausted = true
+			return
+		}
+		c.window = append(c.window, slot{op: op, seq: c.nextSeq, status: stWaitDep, gapLeft: op.Gap})
+		c.nextSeq++
+		c.instCount += op.Gap + 1
+	}
+}
+
+func (c *Core) issue(now uint64) {
+	for i := range c.window {
+		s := &c.window[i]
+		switch s.status {
+		case stWaitDep:
+			if !c.depSatisfied(s) {
+				continue
+			}
+			s.status = stReady
+			fallthrough
+		case stReady:
+			c.access(s, now)
+		}
+	}
+}
+
+// needsMemSentinel marks a slot whose cache access already ran (and
+// missed) but whose timing request was rejected by a full port; the retry
+// must not repeat the functional access, which would now hit.
+const needsMemSentinel = ^uint64(0)
+
+// access performs the cache access for a ready op and transitions it.
+func (c *Core) access(s *slot, now uint64) {
+	if s.op.Kind == mem.Write {
+		// Stores retire through the store buffer: account the cache
+		// effects (allocation + dirty evictions) but never stall. A
+		// store miss still fetches its line (write-allocate) as a
+		// non-blocking fill read through the prefetch engine.
+		res := c.hier.Access(s.op.Addr, true)
+		c.wbQueue = append(c.wbQueue, res.Writebacks...)
+		if c.pf != nil && res.Level >= 2 {
+			c.pfPending = append(c.pfPending, c.pf.onMiss(s.op.Addr/64)...)
+		}
+		if res.MissToMem {
+			c.fillPending = append(c.fillPending, s.op.Addr/64)
+		}
+		s.status = stDone
+		s.completion = now
+		return
+	}
+	// Loads that need memory must claim an MSHR and a queue slot; stay
+	// Ready and retry next cycle when either is unavailable.
+	if c.outstanding >= c.cfg.MSHRs {
+		return
+	}
+	if s.reqID != needsMemSentinel {
+		res := c.hier.Access(s.op.Addr, false)
+		c.wbQueue = append(c.wbQueue, res.Writebacks...)
+		// Train the stream prefetcher on every L1 miss — including hits
+		// on previously prefetched lines in L2/L3, otherwise a covered
+		// stream would stop advancing and stall itself.
+		if c.pf != nil && res.Level >= 2 {
+			c.pfPending = append(c.pfPending, c.pf.onMiss(s.op.Addr/64)...)
+		}
+		if !res.MissToMem {
+			s.status = stDone
+			s.completion = now + res.Latency
+			return
+		}
+		s.reqID = needsMemSentinel
+	}
+	id := c.alloc()
+	req := mem.Request{ID: id, Addr: s.op.Addr, Kind: mem.Read, Domain: c.domain, Issue: now}
+	if !c.port.TryEnqueue(req, now) {
+		return // port full: retry next cycle without re-accessing caches
+	}
+	s.status = stInMem
+	s.reqID = id
+	c.reads[id] = s.seq
+	c.outstanding++
+	c.stats.MemReads++
+}
+
+func (c *Core) flushWritebacks(now uint64) {
+	for len(c.wbQueue) > 0 {
+		req := mem.Request{ID: c.alloc(), Addr: c.wbQueue[0], Kind: mem.Write, Domain: c.domain, Issue: now}
+		if !c.port.TryEnqueue(req, now) {
+			return
+		}
+		c.wbQueue = c.wbQueue[1:]
+		c.stats.Writebacks++
+	}
+}
+
+func (c *Core) retire(now uint64) {
+	budget := c.cfg.IssueWidth
+	retired := 0
+	for budget > 0 && len(c.window) > 0 {
+		head := &c.window[0]
+		if head.gapLeft > 0 {
+			n := head.gapLeft
+			if n > budget {
+				n = budget
+			}
+			head.gapLeft -= n
+			budget -= n
+			retired += n
+			continue
+		}
+		if head.status != stDone || head.completion > now {
+			break
+		}
+		budget--
+		retired++
+		c.stats.MemOps++
+		c.instCount -= head.op.Gap + 1
+		c.window = c.window[1:]
+		c.baseSeq++
+	}
+	c.stats.Instructions += uint64(retired)
+	if retired == 0 {
+		c.stats.StallCycles++
+	}
+}
+
+// OnResponse delivers a memory read completion to the core. Prefetch
+// completions fill L2/L3; unknown IDs (e.g. write completions, which the
+// core does not track) are ignored.
+func (c *Core) OnResponse(resp mem.Response, now uint64) {
+	if addr, ok := c.pfInMem[resp.ID]; ok {
+		delete(c.pfInMem, resp.ID)
+		delete(c.pfIssued, addr/64)
+		c.wbQueue = append(c.wbQueue, c.hier.PrefetchFill(addr)...)
+		return
+	}
+	seq, ok := c.reads[resp.ID]
+	if !ok {
+		return
+	}
+	delete(c.reads, resp.ID)
+	if seq < c.baseSeq {
+		panic(fmt.Sprintf("cpu: response for retired op seq %d (base %d)", seq, c.baseSeq))
+	}
+	s := &c.window[seq-c.baseSeq]
+	s.status = stDone
+	s.completion = now
+	c.outstanding--
+}
+
+// Outstanding returns in-flight memory reads.
+func (c *Core) Outstanding() int { return c.outstanding }

@@ -1,0 +1,338 @@
+// Package dram implements a transaction-level DDR3 DRAM device model that
+// enforces the Table 2 timing constraints: per-bank row-buffer state with
+// tRC/tRCD/tRAS/tRP/tRTP/tWR, per-rank tRRD and tFAW activation windows and
+// tREFI/tRFC refresh, and per-channel data-bus occupancy with tBURST, tCCD
+// and tWTR turnarounds.
+//
+// The model serves whole transactions (a read or write of one cache line)
+// rather than individual DRAM commands: when the memory controller commits a
+// transaction the device computes the earliest legal schedule of the implied
+// PRE/ACT/RD/WR commands, updates its state and reports when the data burst
+// completes. This reproduces every contention source exploited by memory
+// timing side channels — bank conflicts, row-buffer hits/misses/conflicts,
+// and shared-bus delays — while remaining fast enough to sweep the paper's
+// full evaluation.
+package dram
+
+import (
+	"fmt"
+
+	"dagguise/internal/config"
+	"dagguise/internal/mem"
+)
+
+// Timing is config.DRAMTiming converted to CPU cycles.
+type Timing struct {
+	RC, RCD, RAS, FAW, WR, RP, RTRS, CAS, CWD, RTP, Burst, CCD, WTR, RRD uint64
+	REFI, RFC                                                            uint64
+}
+
+func convert(t config.DRAMTiming) Timing {
+	c := func(v int) uint64 { return uint64(v * t.ClockRatio) }
+	return Timing{
+		RC: c(t.TRC), RCD: c(t.TRCD), RAS: c(t.TRAS), FAW: c(t.TFAW),
+		WR: c(t.TWR), RP: c(t.TRP), RTRS: c(t.TRTRS), CAS: c(t.TCAS),
+		CWD: c(t.TCWD), RTP: c(t.TRTP), Burst: c(t.TBURST), CCD: c(t.TCCD),
+		WTR: c(t.TWTR), RRD: c(t.TRRD), REFI: c(t.TREFI), RFC: c(t.TRFC),
+	}
+}
+
+type bankState struct {
+	rowOpen   bool
+	openRow   uint64
+	nextAct   uint64 // earliest cycle the next ACT may issue
+	nextRead  uint64 // earliest cycle the next RD may issue
+	nextWrite uint64 // earliest cycle the next WR may issue
+	nextPre   uint64 // earliest cycle the next PRE may issue
+	busyUntil uint64 // transaction-granularity occupancy
+}
+
+type rankState struct {
+	actWindow   [4]uint64 // timestamps of the last four ACTs (tFAW)
+	actIdx      int
+	actCount    int
+	nextAct     uint64 // tRRD constraint across banks in the rank
+	nextRefresh uint64
+	refreshEnd  uint64
+}
+
+type chanState struct {
+	busFree   uint64 // cycle the data bus becomes free
+	nextCol   uint64 // tCCD column command spacing
+	lastWrite bool
+	wtrUntil  uint64 // write-to-read turnaround gate for RD commands
+}
+
+// Outcome classifies how a transaction hit the row buffer, for statistics
+// and for the Figure 1 attack primer.
+type Outcome int
+
+const (
+	// RowHit means the target row was already open.
+	RowHit Outcome = iota
+	// RowMiss means the bank was precharged (closed) and only needed ACT.
+	RowMiss
+	// RowConflict means a different row was open and had to be precharged.
+	RowConflict
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case RowHit:
+		return "hit"
+	case RowMiss:
+		return "miss"
+	default:
+		return "conflict"
+	}
+}
+
+// Result reports the schedule the device chose for a transaction.
+type Result struct {
+	// Start is the cycle the first command of the transaction issued.
+	Start uint64
+	// DataDone is the cycle the data burst completed on the bus; this is
+	// the transaction's completion time as seen by the controller.
+	DataDone uint64
+	// Outcome is the row-buffer outcome.
+	Outcome Outcome
+}
+
+// Device is the DRAM device array behind one set of channels.
+type Device struct {
+	t         Timing
+	mapper    *mem.Mapper
+	closedRow bool
+	banks     []bankState
+	ranks     []rankState
+	channels  []chanState
+
+	// Stats counters.
+	hits, misses, conflicts, refreshes uint64
+}
+
+// New builds a Device for the geometry embedded in the mapper. closedRow
+// selects the auto-precharge policy required by the secure schemes.
+func New(t config.DRAMTiming, mapper *mem.Mapper, closedRow bool) *Device {
+	geo := mapper.Geometry()
+	d := &Device{
+		t:         convert(t),
+		mapper:    mapper,
+		closedRow: closedRow,
+		banks:     make([]bankState, mapper.BankCount()),
+		ranks:     make([]rankState, geo.Channels*geo.Ranks),
+		channels:  make([]chanState, geo.Channels),
+	}
+	for i := range d.ranks {
+		d.ranks[i].nextRefresh = d.t.REFI
+	}
+	return d
+}
+
+// ClosedRow reports whether the device auto-precharges after every access.
+func (d *Device) ClosedRow() bool { return d.closedRow }
+
+// Timing returns the CPU-cycle timing set in use.
+func (d *Device) Timing() Timing { return d.t }
+
+func (d *Device) rankIndex(c mem.Coord) int {
+	return c.Channel*d.mapper.Geometry().Ranks + c.Rank
+}
+
+// BankBusyUntil returns the transaction-granularity busy horizon of the
+// coordinate's bank: the controller should not commit a second transaction
+// to the bank before this cycle.
+func (d *Device) BankBusyUntil(c mem.Coord) uint64 {
+	return d.banks[d.mapper.FlatBank(c)].busyUntil
+}
+
+// RowOpen reports whether the coordinate's row is currently open, which
+// lets the scheduler implement FR-FCFS row-hit-first policies.
+func (d *Device) RowOpen(c mem.Coord) bool {
+	b := &d.banks[d.mapper.FlatBank(c)]
+	return b.rowOpen && b.openRow == c.Row
+}
+
+func max64(vals ...uint64) uint64 {
+	var m uint64
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// refreshGate advances the lazy refresh schedule of the rank and returns the
+// earliest cycle ≥ at that is outside a refresh window.
+func (d *Device) refreshGate(rk *rankState, at uint64) uint64 {
+	for at >= rk.nextRefresh {
+		rk.refreshEnd = rk.nextRefresh + d.t.RFC
+		rk.nextRefresh += d.t.REFI
+		d.refreshes++
+	}
+	if at < rk.refreshEnd {
+		at = rk.refreshEnd
+	}
+	return at
+}
+
+// fawGate returns the earliest cycle ≥ at an ACT may issue under tFAW.
+func (d *Device) fawGate(rk *rankState, at uint64) uint64 {
+	if rk.actCount < len(rk.actWindow) {
+		return at
+	}
+	oldest := rk.actWindow[rk.actIdx]
+	if oldest+d.t.FAW > at {
+		at = oldest + d.t.FAW
+	}
+	return at
+}
+
+func (d *Device) recordAct(rk *rankState, at uint64) {
+	rk.actWindow[rk.actIdx] = at
+	rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
+	rk.actCount++
+	rk.nextAct = at + d.t.RRD
+}
+
+// Service commits a transaction for coordinate c with kind k, starting no
+// earlier than cycle now, and returns the chosen schedule. The caller is
+// responsible for not over-committing a bank (see BankBusyUntil).
+func (d *Device) Service(c mem.Coord, k mem.Kind, now uint64) Result {
+	t := &d.t
+	bank := &d.banks[d.mapper.FlatBank(c)]
+	rank := &d.ranks[d.rankIndex(c)]
+	ch := &d.channels[c.Channel]
+
+	start := now
+	if bank.busyUntil > start {
+		start = bank.busyUntil
+	}
+	start = d.refreshGate(rank, start)
+
+	var outcome Outcome
+	var colCmd uint64 // cycle the RD/WR column command issues
+	switch {
+	case bank.rowOpen && bank.openRow == c.Row:
+		outcome = RowHit
+		colCmd = start
+		d.hits++
+	case bank.rowOpen:
+		outcome = RowConflict
+		d.conflicts++
+		// PRE, then ACT, then column command.
+		pre := max64(start, bank.nextPre)
+		act := max64(pre+t.RP, bank.nextAct, rank.nextAct)
+		act = d.fawGate(rank, act)
+		d.recordAct(rank, act)
+		bank.nextAct = act + t.RC
+		bank.nextPre = act + t.RAS
+		bank.openRow = c.Row
+		bank.rowOpen = true
+		colCmd = act + t.RCD
+		start = pre
+	default:
+		outcome = RowMiss
+		d.misses++
+		act := max64(start, bank.nextAct, rank.nextAct)
+		act = d.fawGate(rank, act)
+		d.recordAct(rank, act)
+		bank.nextAct = act + t.RC
+		bank.nextPre = act + t.RAS
+		bank.openRow = c.Row
+		bank.rowOpen = true
+		colCmd = act + t.RCD
+		start = act
+	}
+
+	// Column command constraints: per-bank RD/WR gates, channel tCCD
+	// spacing, write-to-read turnaround and data bus availability.
+	if k == mem.Read {
+		colCmd = max64(colCmd, bank.nextRead, ch.nextCol, ch.wtrUntil)
+	} else {
+		colCmd = max64(colCmd, bank.nextWrite, ch.nextCol)
+	}
+	// Data burst must find the bus free.
+	dataLat := t.CAS
+	if k == mem.Write {
+		dataLat = t.CWD
+	}
+	if colCmd+dataLat < ch.busFree {
+		colCmd = ch.busFree - dataLat
+	}
+	dataStart := colCmd + dataLat
+	dataDone := dataStart + t.Burst
+
+	// Update channel state.
+	ch.busFree = dataDone
+	ch.nextCol = colCmd + t.CCD
+	if k == mem.Write {
+		ch.lastWrite = true
+		ch.wtrUntil = dataDone + t.WTR
+	} else {
+		ch.lastWrite = false
+	}
+
+	// Update bank column/precharge gates.
+	bank.nextRead = colCmd + t.CCD
+	bank.nextWrite = colCmd + t.CCD
+	if k == mem.Read {
+		if p := colCmd + t.RTP; p > bank.nextPre {
+			bank.nextPre = p
+		}
+	} else {
+		if p := dataDone + t.WR; p > bank.nextPre {
+			bank.nextPre = p
+		}
+	}
+
+	if d.closedRow {
+		// Auto-precharge: close the row as soon as legal.
+		pre := bank.nextPre
+		bank.rowOpen = false
+		if act := pre + t.RP; act > bank.nextAct {
+			bank.nextAct = act
+		}
+	}
+
+	bank.busyUntil = dataDone
+	return Result{Start: start, DataDone: dataDone, Outcome: outcome}
+}
+
+// Stats reports cumulative row-buffer outcome counts and refresh count.
+func (d *Device) Stats() (hits, misses, conflicts, refreshes uint64) {
+	return d.hits, d.misses, d.conflicts, d.refreshes
+}
+
+// Reset returns the device to its post-power-up state (all banks closed,
+// counters cleared, refresh schedule restarted).
+func (d *Device) Reset() {
+	for i := range d.banks {
+		d.banks[i] = bankState{}
+	}
+	for i := range d.ranks {
+		d.ranks[i] = rankState{nextRefresh: d.t.REFI}
+	}
+	for i := range d.channels {
+		d.channels[i] = chanState{}
+	}
+	d.hits, d.misses, d.conflicts, d.refreshes = 0, 0, 0, 0
+}
+
+// UncontendedReadLatency returns the latency in CPU cycles of an isolated
+// read to a closed bank: ACT + tRCD + tCAS + tBURST. Useful as the "n" of
+// the Figure 1 example and for calibrating workloads.
+func (d *Device) UncontendedReadLatency() uint64 {
+	return d.t.RCD + d.t.CAS + d.t.Burst
+}
+
+// String describes the device configuration.
+func (d *Device) String() string {
+	policy := "open-row"
+	if d.closedRow {
+		policy = "closed-row"
+	}
+	return fmt.Sprintf("dram{banks=%d %s}", len(d.banks), policy)
+}

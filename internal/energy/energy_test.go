@@ -1,0 +1,77 @@
+package energy
+
+import "testing"
+
+func baseCounts() Counts {
+	return Counts{
+		Activates: 10_000,
+		Reads:     8_000,
+		Writes:    2_000,
+		Refreshes: 50,
+		Cycles:    1_000_000,
+		FreqMHz:   800,
+	}
+}
+
+func TestEstimateBreakdownSums(t *testing.T) {
+	r, err := Estimate(DDR3Defaults(), baseCounts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.RowNJ + r.BurstNJ + r.FakeNJ + r.RefreshNJ + r.BackgroundNJ
+	if sum != r.TotalNJ {
+		t.Fatalf("breakdown %.2f != total %.2f", sum, r.TotalNJ)
+	}
+	if r.TotalNJ <= 0 {
+		t.Fatal("zero energy")
+	}
+}
+
+func TestEstimateRejectsZeroFrequency(t *testing.T) {
+	c := baseCounts()
+	c.FreqMHz = 0
+	if _, err := Estimate(DDR3Defaults(), c); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+}
+
+func TestSuppressionSavesEnergy(t *testing.T) {
+	c := baseCounts()
+	c.SuppressedFakes = 5_000
+	saving, err := SuppressionSaving(DDR3Defaults(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving <= 0.05 {
+		t.Fatalf("suppression saving %.3f, expected a substantial fraction", saving)
+	}
+	// And a performed fake costs strictly more than a suppressed one.
+	perf := c
+	perf.PerformedFakes, perf.SuppressedFakes = perf.SuppressedFakes, 0
+	ep, _ := Estimate(DDR3Defaults(), perf)
+	es, _ := Estimate(DDR3Defaults(), c)
+	if ep.FakeNJ <= es.FakeNJ {
+		t.Fatalf("performed fakes %.1f nJ not above suppressed %.1f nJ", ep.FakeNJ, es.FakeNJ)
+	}
+}
+
+func TestFakeOverheadScalesWithFakes(t *testing.T) {
+	few := baseCounts()
+	few.SuppressedFakes = 100
+	many := baseCounts()
+	many.SuppressedFakes = 50_000
+	lo, err := FakeOverhead(DDR3Defaults(), few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FakeOverhead(DDR3Defaults(), many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi > lo) {
+		t.Fatalf("overhead did not grow with fakes: %.4f vs %.4f", lo, hi)
+	}
+	if hi > 0.5 {
+		t.Fatalf("suppressed-fake overhead %.3f implausibly high", hi)
+	}
+}

@@ -1,0 +1,412 @@
+// Package eval contains the experiment runners that regenerate every
+// table and figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). The cmd/ tools print their output and
+// bench_test.go wraps them as benchmarks; both share the code here so the
+// numbers always come from one implementation.
+package eval
+
+import (
+	"fmt"
+
+	"dagguise/internal/attack"
+	"dagguise/internal/camouflage"
+	"dagguise/internal/config"
+	"dagguise/internal/profile"
+	"dagguise/internal/rdag"
+	"dagguise/internal/sim"
+	"dagguise/internal/stats"
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+	"dagguise/internal/workload"
+)
+
+// Options sizes the simulations. Benchmarks shrink the windows; the cmd
+// tools use the defaults.
+type Options struct {
+	Warmup uint64
+	Window uint64
+	// Apps restricts Figure 9 to a subset of SPEC profiles (nil = all).
+	Apps []string
+}
+
+// DefaultOptions returns windows long enough for stable IPCs: the window
+// covers at least one full loop of the victim traces, so every scheme's
+// measurement averages over the same mix of program phases.
+func DefaultOptions() Options {
+	return Options{Warmup: 100_000, Window: 1_600_000}
+}
+
+// DefaultDefense is the defense rDAG the Figure 7 profiling sweep selects
+// for DocDist on this simulator: the knee of the IPC-versus-allocated-
+// bandwidth curve (8 parallel sequences, 50 DRAM cycles = 150 CPU cycles,
+// streaming write ratio). Used for the two-core experiment.
+func DefaultDefense() rdag.Template {
+	return rdag.Template{Sequences: 8, Weight: 150, WriteRatio: 0.25, Banks: 8}
+}
+
+// EightCoreDefense is the defense rDAG used for the eight-core experiment:
+// the paper's published DocDist choice of 4 parallel sequences with a
+// uniform 100-DRAM-cycle (300 CPU cycles) edge weight (Figure 6a). With
+// four shapers sharing one channel, the single-victim knee is too dense —
+// its fake requests crowd out the co-runners — and the sparser template
+// maximises system-wide performance (see BenchmarkAblationTemplateDensity).
+func EightCoreDefense() rdag.Template {
+	return rdag.Template{Sequences: 4, Weight: 300, WriteRatio: 0.25, Banks: 8}
+}
+
+// specMaker builds a fresh CoreSpec per simulation run. Sources are
+// stateful (they carry a position), so every scheme comparison must use a
+// fresh one — otherwise one run would resume the victim's trace where the
+// previous run stopped and the two runs would measure different program
+// phases.
+type specMaker func() (sim.CoreSpec, error)
+
+// docdistMaker records the DocDist trace once and serves fresh loops of it.
+func docdistMaker(secretSeed int64) (specMaker, error) {
+	tr, err := victim.DocDistTrace(secretSeed, victim.DefaultDocDist())
+	if err != nil {
+		return nil, err
+	}
+	return func() (sim.CoreSpec, error) {
+		cp := *tr
+		return sim.CoreSpec{
+			Name:      "docdist",
+			Source:    &trace.Loop{Inner: &cp},
+			Protected: true,
+			Defense:   DefaultDefense(),
+		}, nil
+	}, nil
+}
+
+// dnaMaker records the DNA alignment trace once and serves fresh loops.
+func dnaMaker(secretSeed int64) (specMaker, error) {
+	tr, err := victim.DNATrace(secretSeed, victim.DefaultDNA())
+	if err != nil {
+		return nil, err
+	}
+	return func() (sim.CoreSpec, error) {
+		cp := *tr
+		return sim.CoreSpec{
+			Name:      "dna",
+			Source:    &trace.Loop{Inner: &cp},
+			Protected: true,
+			Defense:   DefaultDefense(),
+		}, nil
+	}, nil
+}
+
+// appMaker serves fresh generators for a SPEC-like profile.
+func appMaker(name string, seed int64) specMaker {
+	return func() (sim.CoreSpec, error) {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return sim.CoreSpec{}, err
+		}
+		return sim.CoreSpec{Name: name, Source: workload.MustSource(p, seed)}, nil
+	}
+}
+
+// SchemeIPCs holds per-core IPCs of one scheme run.
+type SchemeIPCs struct {
+	IPCs      []float64
+	TotalGBps float64
+}
+
+// runSystem builds and measures one configuration.
+func runSystem(scheme config.Scheme, specs []sim.CoreSpec, opts Options) (SchemeIPCs, error) {
+	cfg := config.Default(len(specs), scheme)
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return SchemeIPCs{}, err
+	}
+	res := sys.Measure(opts.Warmup, opts.Window)
+	out := SchemeIPCs{TotalGBps: res.TotalGBps}
+	for _, c := range res.Cores {
+		out.IPCs = append(out.IPCs, c.IPC)
+	}
+	return out, nil
+}
+
+// Figure9Row is one SPEC co-runner's result on the two-core system.
+type Figure9Row struct {
+	App string
+	// Normalized IPCs (vs the insecure baseline under the same
+	// co-location), per Figure 9: the victim (DocDist), the SPEC app,
+	// and their average, for FS-BTA and DAGguise.
+	FSBTAVictim, FSBTASpec, FSBTAAvg          float64
+	DAGguiseVictim, DAGguiseSpec, DAGguiseAvg float64
+}
+
+// Figure9Result is the full two-core overhead experiment.
+type Figure9Result struct {
+	Rows []Figure9Row
+	// Geomean of the per-app average normalized IPCs.
+	FSBTAGeomean, DAGguiseGeomean float64
+}
+
+// Figure9 reproduces the two-core experiment: DocDist protected by each
+// scheme, co-located with each SPEC-like application.
+func Figure9(opts Options) (*Figure9Result, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = workload.Names()
+	}
+	res := &Figure9Result{}
+	var fsAvgs, dagAvgs []float64
+	mkVic, err := docdistMaker(11)
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		mkCo := appMaker(app, int64(i)+21)
+		specs := func(protected bool) ([]sim.CoreSpec, error) {
+			v, err := mkVic()
+			if err != nil {
+				return nil, err
+			}
+			v.Protected = protected
+			co, err := mkCo()
+			if err != nil {
+				return nil, err
+			}
+			return []sim.CoreSpec{v, co}, nil
+		}
+		insSpecs, err := specs(false)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runSystem(config.Insecure, insSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		fsSpecs, err := specs(true)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := runSystem(config.FSBTA, fsSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		dagSpecs, err := specs(true)
+		if err != nil {
+			return nil, err
+		}
+		dag, err := runSystem(config.DAGguise, dagSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure9Row{App: app}
+		row.FSBTAVictim = fs.IPCs[0] / base.IPCs[0]
+		row.FSBTASpec = fs.IPCs[1] / base.IPCs[1]
+		row.FSBTAAvg = (row.FSBTAVictim + row.FSBTASpec) / 2
+		row.DAGguiseVictim = dag.IPCs[0] / base.IPCs[0]
+		row.DAGguiseSpec = dag.IPCs[1] / base.IPCs[1]
+		row.DAGguiseAvg = (row.DAGguiseVictim + row.DAGguiseSpec) / 2
+		res.Rows = append(res.Rows, row)
+		fsAvgs = append(fsAvgs, row.FSBTAAvg)
+		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
+	}
+	res.FSBTAGeomean = stats.Geomean(fsAvgs)
+	res.DAGguiseGeomean = stats.Geomean(dagAvgs)
+	return res, nil
+}
+
+// Figure10Row is one SPEC co-runner's result on the eight-core system.
+type Figure10Row struct {
+	App string
+	// Per Figure 10: average normalized IPC of the whole system under
+	// each scheme, plus the per-class normalized IPCs.
+	FSBTAAvg, DAGguiseAvg         float64
+	FSBTAVictims, DAGguiseVictims float64 // mean over the 4 protected cores
+	FSBTASpec, DAGguiseSpec       float64 // mean over the 4 SPEC cores
+}
+
+// Figure10Result is the scalability experiment.
+type Figure10Result struct {
+	Rows                          []Figure10Row
+	FSBTAGeomean, DAGguiseGeomean float64
+}
+
+// Figure10 reproduces the eight-core experiment: two DocDist and two DNA
+// victims protected, four identical SPEC co-runners unprotected.
+func Figure10(opts Options) (*Figure10Result, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = workload.Names()
+	}
+	res := &Figure10Result{}
+	var fsAvgs, dagAvgs []float64
+	d1, err := docdistMaker(11)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := docdistMaker(13)
+	if err != nil {
+		return nil, err
+	}
+	n1, err := dnaMaker(17)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := dnaMaker(19)
+	if err != nil {
+		return nil, err
+	}
+	victims := []specMaker{d1, n1, d2, n2}
+	for i, app := range apps {
+		build := func(protected bool) ([]sim.CoreSpec, error) {
+			var specs []sim.CoreSpec
+			for _, mk := range victims {
+				v, err := mk()
+				if err != nil {
+					return nil, err
+				}
+				v.Protected = protected
+				v.Defense = EightCoreDefense()
+				specs = append(specs, v)
+				co, err := appMaker(app, int64(len(specs))*31+int64(i))()
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, co)
+			}
+			return specs, nil
+		}
+		insSpecs, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runSystem(config.Insecure, insSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		fsSpecs, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := runSystem(config.FSBTA, fsSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		dagSpecs, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		dag, err := runSystem(config.DAGguise, dagSpecs, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure10Row{App: app}
+		var fsAll, dagAll []float64
+		var fsVic, dagVic, fsSpec, dagSpec []float64
+		for c := 0; c < 8; c++ {
+			fn := fs.IPCs[c] / base.IPCs[c]
+			dn := dag.IPCs[c] / base.IPCs[c]
+			fsAll = append(fsAll, fn)
+			dagAll = append(dagAll, dn)
+			if c%2 == 0 { // protected cores are at even indices
+				fsVic = append(fsVic, fn)
+				dagVic = append(dagVic, dn)
+			} else {
+				fsSpec = append(fsSpec, fn)
+				dagSpec = append(dagSpec, dn)
+			}
+		}
+		row.FSBTAAvg = stats.Mean(fsAll)
+		row.DAGguiseAvg = stats.Mean(dagAll)
+		row.FSBTAVictims = stats.Mean(fsVic)
+		row.DAGguiseVictims = stats.Mean(dagVic)
+		row.FSBTASpec = stats.Mean(fsSpec)
+		row.DAGguiseSpec = stats.Mean(dagSpec)
+		res.Rows = append(res.Rows, row)
+		fsAvgs = append(fsAvgs, row.FSBTAAvg)
+		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
+	}
+	res.FSBTAGeomean = stats.Geomean(fsAvgs)
+	res.DAGguiseGeomean = stats.Geomean(dagAvgs)
+	return res, nil
+}
+
+// Figure7 runs the DocDist profiling sweep over the paper's search space.
+func Figure7(opts Options) (*profile.Result, error) {
+	tr, err := victim.DocDistTrace(11, victim.DefaultDocDist())
+	if err != nil {
+		return nil, err
+	}
+	mk := func() trace.Source {
+		cp := *tr
+		return &cp
+	}
+	space := rdag.DefaultSpace(8)
+	return profile.Sweep(mk, space, profile.Options{
+		Warmup: opts.Warmup, Window: opts.Window, KneeFraction: 0.85,
+	})
+}
+
+// Figure1Primer re-exports the attack primer for the cmd tools.
+func Figure1Primer(probes int) ([]attack.Figure1Row, error) {
+	return attack.Figure1Primer(probes)
+}
+
+// Table1Row is one scheme's leakage measurement.
+type Table1Row struct {
+	Scheme      config.Scheme
+	AggregateMI float64
+	SequenceMI  float64
+	Accuracy    float64
+	// Secure is the paper's classification of the scheme.
+	Secure bool
+}
+
+// Table1 quantifies each scheme's leakage for the Figure 5 secret pair:
+// the security column of the design-goals comparison.
+func Table1(probes, trials int) ([]Table1Row, error) {
+	s0 := attack.Pattern{Gaps: []uint64{100}, Banks: []int{0, 1, 2, 3}}
+	s1 := attack.Pattern{Gaps: []uint64{200}, Banks: []int{0, 1, 2, 3}}
+	probe := attack.Probe{Bank: 0, Row: 0, Gap: 120}
+	dist := camouflage.Distribution{Intervals: []uint64{200, 400}}
+	var rows []Table1Row
+	for _, scheme := range []config.Scheme{
+		config.Insecure, config.Camouflage, config.FixedService,
+		config.FSBTA, config.TemporalPartitioning, config.DAGguise,
+	} {
+		res, err := attack.MeasureLeakage(scheme, DefaultDefense(), dist, s0, s1, probe, probes, trials)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Scheme:      scheme,
+			AggregateMI: res.AggregateMI,
+			SequenceMI:  res.SequenceMI,
+			Accuracy:    res.Accuracy,
+			Secure:      scheme.Secure(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure9 renders the rows as an aligned text table.
+func FormatFigure9(r *Figure9Result) string {
+	out := fmt.Sprintf("%-12s %10s %10s %10s %10s %10s %10s\n",
+		"app", "fs:victim", "fs:spec", "fs:avg", "dag:victim", "dag:spec", "dag:avg")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-12s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			row.App, row.FSBTAVictim, row.FSBTASpec, row.FSBTAAvg,
+			row.DAGguiseVictim, row.DAGguiseSpec, row.DAGguiseAvg)
+	}
+	out += fmt.Sprintf("%-12s %21s %10.3f %21s %10.3f\n", "geomean", "", r.FSBTAGeomean, "", r.DAGguiseGeomean)
+	return out
+}
+
+// FormatFigure10 renders the rows as an aligned text table.
+func FormatFigure10(r *Figure10Result) string {
+	out := fmt.Sprintf("%-12s %10s %10s %10s %10s %10s %10s\n",
+		"app", "fs:victim", "fs:spec", "fs:avg", "dag:victim", "dag:spec", "dag:avg")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-12s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			row.App, row.FSBTAVictims, row.FSBTASpec, row.FSBTAAvg,
+			row.DAGguiseVictims, row.DAGguiseSpec, row.DAGguiseAvg)
+	}
+	out += fmt.Sprintf("%-12s %21s %10.3f %21s %10.3f\n", "geomean", "", r.FSBTAGeomean, "", r.DAGguiseGeomean)
+	return out
+}

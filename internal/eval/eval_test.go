@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"dagguise/internal/config"
+)
+
+func quickOpts() Options {
+	return Options{Warmup: 10_000, Window: 120_000}
+}
+
+func TestFigure9ShapesOnSubset(t *testing.T) {
+	opts := quickOpts()
+	opts.Apps = []string{"lbm", "leela"}
+	res, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for name, v := range map[string]float64{
+			"fs victim": row.FSBTAVictim, "fs spec": row.FSBTASpec,
+			"dag victim": row.DAGguiseVictim, "dag spec": row.DAGguiseSpec,
+		} {
+			if v <= 0 || v > 1.6 {
+				t.Errorf("%s: %s normalized IPC %f out of range", row.App, name, v)
+			}
+		}
+	}
+	// Memory-bound lbm: the co-runner must do much better under DAGguise
+	// than FS-BTA (the headline claim).
+	lbm := res.Rows[0]
+	if !(lbm.DAGguiseSpec > lbm.FSBTASpec) {
+		t.Errorf("lbm co-runner: dag %f <= fs %f", lbm.DAGguiseSpec, lbm.FSBTASpec)
+	}
+	if !(res.DAGguiseGeomean > res.FSBTAGeomean) {
+		t.Errorf("geomean: dag %f <= fs %f", res.DAGguiseGeomean, res.FSBTAGeomean)
+	}
+	text := FormatFigure9(res)
+	if !strings.Contains(text, "lbm") || !strings.Contains(text, "geomean") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestFigure10ShapesOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight-core runs in short mode")
+	}
+	opts := quickOpts()
+	opts.Apps = []string{"lbm"}
+	res, err := Figure10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if !(row.DAGguiseAvg > row.FSBTAAvg) {
+		t.Errorf("8-core avg: dag %f <= fs %f", row.DAGguiseAvg, row.FSBTAAvg)
+	}
+	if FormatFigure10(res) == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestTable1SecurityClassification(t *testing.T) {
+	rows, err := Table1(120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		leaks := row.SequenceMI > 0.01
+		if row.Secure && leaks {
+			t.Errorf("%v marked secure but leaks %.3f bits/probe", row.Scheme, row.SequenceMI)
+		}
+		if row.Scheme == config.Insecure && !leaks {
+			t.Error("insecure baseline shows no leakage; harness broken")
+		}
+		if row.Scheme == config.Camouflage && !leaks {
+			t.Error("camouflage shows no leakage; Figure 2 not reproduced")
+		}
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweep in short mode")
+	}
+	opts := Options{Warmup: 4_000, Window: 40_000}
+	res, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 72 {
+		t.Fatalf("points = %d, want 72 (4 sequences x 9 weights x 2 write ratios)", len(res.Points))
+	}
+	if res.Selected.Sequences == 0 {
+		t.Fatal("no defense selected")
+	}
+	series := res.SeriesBySequences()
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	// Figure 7(a): within a series, IPC must not increase as the weight
+	// grows (monotone to within noise).
+	for seq, pts := range series {
+		first, last := pts[0], pts[len(pts)-1]
+		if first.IPC < last.IPC*0.95 {
+			t.Errorf("seq=%d: IPC at weight %d (%f) below weight %d (%f)",
+				seq, first.Template.Weight, first.IPC, last.Template.Weight, last.IPC)
+		}
+	}
+}
+
+func TestDefaultDefenseIsValid(t *testing.T) {
+	if err := DefaultDefense().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

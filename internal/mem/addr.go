@@ -1,0 +1,159 @@
+package mem
+
+import "fmt"
+
+// Geometry describes the DRAM organisation visible to address mapping.
+// The Table 2 configuration is 1 channel, 1 rank/channel, 8 banks/rank.
+type Geometry struct {
+	Channels    int
+	Ranks       int
+	Banks       int
+	RowBytes    int // bytes per DRAM row (per bank)
+	LineBytes   int // cache line size
+	CapacityGiB int // total capacity, used for address wrap-around
+}
+
+// Coord locates a cache line within the DRAM organisation.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	Column  int
+}
+
+// Mapper decodes physical addresses into DRAM coordinates using a
+// line-interleaved scheme: consecutive cache lines map to consecutive banks
+// so that streaming traffic spreads across all banks, and the row index
+// occupies the high bits. This mirrors the DRAMSim2 "scheme7"-style mapping
+// used in the paper's artifact.
+type Mapper struct {
+	geo        Geometry
+	lineShift  uint
+	bankShift  uint
+	bankMask   uint64
+	chanShift  uint
+	chanMask   uint64
+	rankShift  uint
+	rankMask   uint64
+	colShift   uint
+	colMask    uint64
+	rowShift   uint
+	capacity   uint64
+	linesPerRw int
+}
+
+// NewMapper validates the geometry and builds a Mapper. All field values
+// must be powers of two.
+func NewMapper(geo Geometry) (*Mapper, error) {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"channels", geo.Channels},
+		{"ranks", geo.Ranks},
+		{"banks", geo.Banks},
+		{"row bytes", geo.RowBytes},
+		{"line bytes", geo.LineBytes},
+	} {
+		if v.val <= 0 || v.val&(v.val-1) != 0 {
+			return nil, fmt.Errorf("mem: %s must be a positive power of two, got %d", v.name, v.val)
+		}
+	}
+	if geo.RowBytes < geo.LineBytes {
+		return nil, fmt.Errorf("mem: row bytes %d smaller than line bytes %d", geo.RowBytes, geo.LineBytes)
+	}
+	m := &Mapper{geo: geo, linesPerRw: geo.RowBytes / geo.LineBytes}
+	m.lineShift = log2(uint64(geo.LineBytes))
+	next := m.lineShift
+	m.chanShift, m.chanMask, next = field(next, geo.Channels)
+	m.bankShift, m.bankMask, next = field(next, geo.Banks)
+	m.rankShift, m.rankMask, next = field(next, geo.Ranks)
+	m.colShift, m.colMask, next = field(next, m.linesPerRw)
+	m.rowShift = next
+	cap := uint64(geo.CapacityGiB)
+	if cap == 0 {
+		cap = 4
+	}
+	m.capacity = cap << 30
+	return m, nil
+}
+
+// MustMapper is NewMapper that panics on error, for use with known-good
+// static configurations.
+func MustMapper(geo Geometry) *Mapper {
+	m, err := NewMapper(geo)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func field(shift uint, n int) (fshift uint, mask uint64, next uint) {
+	bits := log2(uint64(n))
+	return shift, uint64(n - 1), shift + bits
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Geometry returns the geometry the mapper was built with.
+func (m *Mapper) Geometry() Geometry { return m.geo }
+
+// Decode maps a physical byte address to its DRAM coordinate.
+func (m *Mapper) Decode(addr uint64) Coord {
+	addr %= m.capacity
+	return Coord{
+		Channel: int((addr >> m.chanShift) & m.chanMask),
+		Rank:    int((addr >> m.rankShift) & m.rankMask),
+		Bank:    int((addr >> m.bankShift) & m.bankMask),
+		Column:  int((addr >> m.colShift) & m.colMask),
+		Row:     addr >> m.rowShift,
+	}
+}
+
+// Encode is the inverse of Decode: it builds a line-aligned physical address
+// from a DRAM coordinate. Encode(Decode(a)) equals a with the line offset
+// bits cleared, for addresses below the configured capacity.
+func (m *Mapper) Encode(c Coord) uint64 {
+	addr := uint64(c.Channel) << m.chanShift
+	addr |= uint64(c.Bank) << m.bankShift
+	addr |= uint64(c.Rank) << m.rankShift
+	addr |= uint64(c.Column) << m.colShift
+	addr |= c.Row << m.rowShift
+	return addr
+}
+
+// LineAddr clears the intra-line offset bits of addr.
+func (m *Mapper) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(m.geo.LineBytes) - 1)
+}
+
+// BankCount returns the total number of banks across all ranks and channels.
+func (m *Mapper) BankCount() int {
+	return m.geo.Channels * m.geo.Ranks * m.geo.Banks
+}
+
+// FlatBank returns a dense index in [0, BankCount) identifying the bank of
+// the coordinate across channels and ranks.
+func (m *Mapper) FlatBank(c Coord) int {
+	return (c.Channel*m.geo.Ranks+c.Rank)*m.geo.Banks + c.Bank
+}
+
+// AddrForBank constructs a line-aligned address that decodes to the given
+// flat bank index, row and column. Useful for attack code that needs precise
+// bank placement.
+func (m *Mapper) AddrForBank(flatBank int, row uint64, column int) uint64 {
+	banks := m.geo.Banks
+	ranks := m.geo.Ranks
+	bank := flatBank % banks
+	rank := (flatBank / banks) % ranks
+	ch := flatBank / (banks * ranks)
+	return m.Encode(Coord{Channel: ch, Rank: rank, Bank: bank, Row: row, Column: column})
+}

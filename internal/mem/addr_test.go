@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func table2Geometry() Geometry {
+	return Geometry{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 8 << 10, LineBytes: 64, CapacityGiB: 4}
+}
+
+func TestNewMapperRejectsNonPowerOfTwo(t *testing.T) {
+	cases := []Geometry{
+		{Channels: 3, Ranks: 1, Banks: 8, RowBytes: 8192, LineBytes: 64},
+		{Channels: 1, Ranks: 0, Banks: 8, RowBytes: 8192, LineBytes: 64},
+		{Channels: 1, Ranks: 1, Banks: 6, RowBytes: 8192, LineBytes: 64},
+		{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 1000, LineBytes: 64},
+		{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 8192, LineBytes: 48},
+		{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 32, LineBytes: 64},
+	}
+	for i, g := range cases {
+		if _, err := NewMapper(g); err == nil {
+			t.Errorf("case %d: expected error for geometry %+v", i, g)
+		}
+	}
+}
+
+func TestMapperDecodeFields(t *testing.T) {
+	m := MustMapper(table2Geometry())
+	// Line-interleaved: consecutive lines hit consecutive banks.
+	for line := 0; line < 16; line++ {
+		c := m.Decode(uint64(line * 64))
+		if c.Bank != line%8 {
+			t.Fatalf("line %d: bank = %d, want %d", line, c.Bank, line%8)
+		}
+	}
+	// Row bytes 8KiB with 64B lines across 8 banks: 128 columns per row,
+	// so the row increments every 8*128 lines.
+	linesPerRowAllBanks := 8 * 128
+	c := m.Decode(uint64(linesPerRowAllBanks * 64))
+	if c.Row != 1 {
+		t.Fatalf("row = %d, want 1", c.Row)
+	}
+	if c.Bank != 0 || c.Column != 0 {
+		t.Fatalf("bank/col = %d/%d, want 0/0", c.Bank, c.Column)
+	}
+}
+
+func TestMapperEncodeDecodeRoundTrip(t *testing.T) {
+	m := MustMapper(table2Geometry())
+	f := func(raw uint64) bool {
+		addr := (raw % (4 << 30)) &^ 63 // line aligned, in capacity
+		c := m.Decode(addr)
+		return m.Encode(c) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperDecodeEncodeRoundTrip(t *testing.T) {
+	m := MustMapper(table2Geometry())
+	f := func(bank uint8, row uint32, col uint16) bool {
+		c := Coord{Bank: int(bank % 8), Row: uint64(row % 4096), Column: int(col % 128)}
+		got := m.Decode(m.Encode(c))
+		return got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrForBank(t *testing.T) {
+	m := MustMapper(table2Geometry())
+	for b := 0; b < m.BankCount(); b++ {
+		addr := m.AddrForBank(b, 7, 3)
+		c := m.Decode(addr)
+		if m.FlatBank(c) != b {
+			t.Errorf("bank %d: FlatBank = %d", b, m.FlatBank(c))
+		}
+		if c.Row != 7 || c.Column != 3 {
+			t.Errorf("bank %d: row/col = %d/%d", b, c.Row, c.Column)
+		}
+	}
+}
+
+func TestMapperMultiRank(t *testing.T) {
+	m := MustMapper(Geometry{Channels: 2, Ranks: 2, Banks: 8, RowBytes: 8 << 10, LineBytes: 64, CapacityGiB: 8})
+	if m.BankCount() != 32 {
+		t.Fatalf("BankCount = %d, want 32", m.BankCount())
+	}
+	seen := make(map[int]bool)
+	for fb := 0; fb < 32; fb++ {
+		c := m.Decode(m.AddrForBank(fb, 0, 0))
+		got := m.FlatBank(c)
+		if got != fb {
+			t.Fatalf("flat bank %d decoded to %d", fb, got)
+		}
+		seen[got] = true
+	}
+	if len(seen) != 32 {
+		t.Fatalf("only %d distinct banks reachable", len(seen))
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	m := MustMapper(table2Geometry())
+	if got := m.LineAddr(0x12345); got != 0x12340 {
+		t.Fatalf("LineAddr = %#x, want 0x12340", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{ID: 1, Addr: 0x40, Kind: Write, Domain: 2, Fake: true}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty request string")
+	}
+}

@@ -1,0 +1,79 @@
+// Package mem defines the shared memory request/response types that flow
+// between cores, caches, the DAGguise shaper, the memory controller and the
+// DRAM device model, together with the physical address mapping used to
+// split addresses into channel/rank/bank/row/column coordinates.
+package mem
+
+import "fmt"
+
+// Kind distinguishes read and write requests.
+type Kind uint8
+
+const (
+	// Read is a memory read (cache-line fill).
+	Read Kind = iota
+	// Write is a memory write (dirty line write-back).
+	Write
+)
+
+// String returns "R" or "W".
+func (k Kind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Domain identifies a security domain. Every memory request is tagged with
+// the domain of the core that produced it (paper §4.4); the shaper keeps one
+// private transaction queue and one defense rDAG per protected domain.
+type Domain uint16
+
+// UnprotectedDomain is the conventional domain ID for traffic that bypasses
+// the shaper and enters the global transaction queue directly.
+const UnprotectedDomain Domain = 0
+
+// Request is a memory transaction headed for the memory controller.
+type Request struct {
+	// ID is unique per request within a simulation.
+	ID uint64
+	// Addr is the physical byte address (line aligned by the cache layer).
+	Addr uint64
+	// Kind is Read or Write.
+	Kind Kind
+	// Domain tags the issuing security domain.
+	Domain Domain
+	// Fake marks a shaper-generated decoy request. Fake requests occupy
+	// scheduler and DRAM timing state like real ones but carry no data and
+	// produce no core-visible response ("suppression" approach, §4.4).
+	Fake bool
+	// Prefetch marks speculative traffic (stream prefetches, store
+	// fills); demand-first schedulers deprioritise it. Shapers strip the
+	// flag: all shaper emissions look identical downstream, otherwise the
+	// demand/prefetch mix would leak through scheduling priority.
+	Prefetch bool
+	// Issue is the cycle the producer handed the request downstream.
+	Issue uint64
+	// Arrival is the cycle the request entered the controller's
+	// transaction queue (set by the controller).
+	Arrival uint64
+}
+
+// Response reports completion of a request back to its producer.
+type Response struct {
+	ID         uint64
+	Addr       uint64
+	Kind       Kind
+	Domain     Domain
+	Fake       bool
+	Completion uint64
+}
+
+// String renders a compact single-line description of the request.
+func (r Request) String() string {
+	fake := ""
+	if r.Fake {
+		fake = " fake"
+	}
+	return fmt.Sprintf("req{id=%d %s addr=%#x dom=%d%s}", r.ID, r.Kind, r.Addr, r.Domain, fake)
+}

@@ -1,0 +1,257 @@
+// Package memctrl implements the shared memory controller: a global
+// transaction queue in front of the DRAM device, a pluggable scheduling
+// policy (FCFS, FR-FCFS, or one of the secure arbiters from
+// internal/sched), and the response path back to the cores and shapers.
+//
+// The controller is the contention point that memory timing side channels
+// exploit: requests from different security domains meet in the transaction
+// queue, compete for banks and the shared data bus, and their completion
+// times depend on each other's presence (Figure 1 of the paper).
+package memctrl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dagguise/internal/dram"
+	"dagguise/internal/mem"
+)
+
+// Entry is a queued transaction together with its decoded DRAM coordinate.
+type Entry struct {
+	Req   mem.Request
+	Coord mem.Coord
+}
+
+// Scheduler picks the next transaction to commit to the DRAM device.
+// Implementations include the insecure FCFS/FR-FCFS policies in this
+// package and the secure FS / FS-BTA / TP arbiters in internal/sched.
+type Scheduler interface {
+	// Pick returns the index into q of the transaction to issue at cycle
+	// now, or -1 if none may issue this cycle. q is the current global
+	// transaction queue in arrival order; dev exposes bank/row state.
+	Pick(q []Entry, now uint64, dev *dram.Device) int
+	// Name identifies the policy in stats output.
+	Name() string
+}
+
+type completion struct {
+	at   uint64
+	resp mem.Response
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	Issued        uint64
+	Reads         uint64
+	Writes        uint64
+	Fakes         uint64
+	TotalLatency  uint64 // sum of (completion - arrival) over real requests
+	TotalQueueing uint64 // sum of (issue start - arrival)
+	BytesServed   uint64
+	MaxQueueLen   int
+}
+
+// Controller is the memory controller for one channel group.
+type Controller struct {
+	dev       *dram.Device
+	mapper    *mem.Mapper
+	sched     Scheduler
+	queue     []Entry
+	capacity  int
+	domainCap int // per-domain queue partition; 0 = shared queue
+	perDomain map[mem.Domain]int
+	inflight  completionHeap
+	perBank   []int // in-flight transactions per flat bank
+	stats     Stats
+	byDomain  map[mem.Domain]uint64 // real bytes served per domain
+	lineSize  uint64
+}
+
+// New builds a controller over the device with the given scheduling policy
+// and transaction queue capacity (entries).
+func New(dev *dram.Device, mapper *mem.Mapper, sched Scheduler, capacity int) *Controller {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &Controller{
+		dev:      dev,
+		mapper:   mapper,
+		sched:    sched,
+		capacity: capacity,
+		perBank:  make([]int, mapper.BankCount()),
+		byDomain: make(map[mem.Domain]uint64),
+		lineSize: uint64(mapper.Geometry().LineBytes),
+	}
+}
+
+// PartitionQueue switches the transaction queue to per-domain accounting:
+// each domain may hold at most perDomain entries, independent of other
+// domains' occupancy. Secure schemes require this — with a shared queue, a
+// victim's bursts back-pressure the attacker's enqueues, leaking timing
+// through queue-full signals even under a non-interfering scheduler.
+func (c *Controller) PartitionQueue(perDomain int) {
+	c.domainCap = perDomain
+	c.perDomain = make(map[mem.Domain]int)
+}
+
+// Device returns the underlying DRAM model.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Mapper returns the address mapper in use.
+func (c *Controller) Mapper() *mem.Mapper { return c.mapper }
+
+// Scheduler returns the active scheduling policy.
+func (c *Controller) Scheduler() Scheduler { return c.sched }
+
+// QueueLen returns the current global transaction queue occupancy.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Full reports whether the transaction queue is at capacity.
+func (c *Controller) Full() bool { return len(c.queue) >= c.capacity }
+
+// FullFor reports whether the domain may not enqueue right now, honouring
+// per-domain partitioning when enabled.
+func (c *Controller) FullFor(d mem.Domain) bool {
+	if c.domainCap > 0 {
+		return c.perDomain[d] >= c.domainCap
+	}
+	return len(c.queue) >= c.capacity
+}
+
+// InFlight returns the number of committed-but-incomplete transactions.
+func (c *Controller) InFlight() int { return len(c.inflight) }
+
+// Idle reports whether the controller has no queued or in-flight work.
+func (c *Controller) Idle() bool { return len(c.queue) == 0 && len(c.inflight) == 0 }
+
+// Enqueue inserts a request into the global transaction queue. It returns
+// false when the queue is full (the producer must retry later). The
+// request's Arrival field is stamped with now.
+func (c *Controller) Enqueue(req mem.Request, now uint64) bool {
+	if c.domainCap > 0 {
+		if c.perDomain[req.Domain] >= c.domainCap {
+			return false
+		}
+		c.perDomain[req.Domain]++
+	} else if len(c.queue) >= c.capacity {
+		return false
+	}
+	req.Arrival = now
+	c.queue = append(c.queue, Entry{Req: req, Coord: c.mapper.Decode(req.Addr)})
+	if len(c.queue) > c.stats.MaxQueueLen {
+		c.stats.MaxQueueLen = len(c.queue)
+	}
+	return true
+}
+
+// bankFree reports whether the entry's bank has no in-flight transaction.
+func (c *Controller) bankFree(e Entry) bool {
+	return c.perBank[c.mapper.FlatBank(e.Coord)] == 0
+}
+
+// Tick advances the controller one cycle: it lets the scheduling policy
+// commit at most one transaction to the device and returns all responses
+// that complete at or before now.
+func (c *Controller) Tick(now uint64) []mem.Response {
+	if len(c.queue) > 0 {
+		idx := c.sched.Pick(c.queue, now, c.dev)
+		if idx >= 0 {
+			c.issue(idx, now)
+		}
+	}
+	return c.drain(now)
+}
+
+func (c *Controller) issue(idx int, now uint64) {
+	e := c.queue[idx]
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+	if c.domainCap > 0 {
+		c.perDomain[e.Req.Domain]--
+	}
+	res := c.dev.Service(e.Coord, e.Req.Kind, now)
+	fb := c.mapper.FlatBank(e.Coord)
+	c.perBank[fb]++
+	c.stats.Issued++
+	if e.Req.Kind == mem.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	if e.Req.Fake {
+		c.stats.Fakes++
+	} else {
+		c.stats.BytesServed += c.lineSize
+		c.byDomain[e.Req.Domain] += c.lineSize
+		c.stats.TotalLatency += res.DataDone - e.Req.Arrival
+		if res.Start > e.Req.Arrival {
+			c.stats.TotalQueueing += res.Start - e.Req.Arrival
+		}
+	}
+	heap.Push(&c.inflight, completion{
+		at: res.DataDone,
+		resp: mem.Response{
+			ID: e.Req.ID, Addr: e.Req.Addr, Kind: e.Req.Kind,
+			Domain: e.Req.Domain, Fake: e.Req.Fake, Completion: res.DataDone,
+		},
+	})
+}
+
+func (c *Controller) drain(now uint64) []mem.Response {
+	var out []mem.Response
+	for len(c.inflight) > 0 && c.inflight[0].at <= now {
+		done := heap.Pop(&c.inflight).(completion)
+		c.perBank[c.mapper.FlatBank(c.mapper.Decode(done.resp.Addr))]--
+		out = append(out, done.resp)
+	}
+	return out
+}
+
+// NextEvent returns the earliest cycle at which the controller has work to
+// do: the next in-flight completion, or now if transactions are queued.
+// Simulation drivers can use it to skip idle cycles.
+func (c *Controller) NextEvent(now uint64) (uint64, bool) {
+	if len(c.queue) > 0 {
+		return now, true
+	}
+	if len(c.inflight) > 0 {
+		return c.inflight[0].at, true
+	}
+	return 0, false
+}
+
+// Stats returns the cumulative counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// BytesForDomain returns the real (non-fake) bytes served for the domain.
+func (c *Controller) BytesForDomain(d mem.Domain) uint64 { return c.byDomain[d] }
+
+// PendingForDomain counts queued requests belonging to the domain.
+func (c *Controller) PendingForDomain(d mem.Domain) int {
+	n := 0
+	for _, e := range c.queue {
+		if e.Req.Domain == d {
+			n++
+		}
+	}
+	return n
+}
+
+// String describes the controller configuration.
+func (c *Controller) String() string {
+	return fmt.Sprintf("memctrl{%s cap=%d}", c.sched.Name(), c.capacity)
+}

@@ -1,0 +1,124 @@
+package memctrl
+
+import (
+	"dagguise/internal/dram"
+	"dagguise/internal/mem"
+)
+
+// FCFS is strict first-come-first-served scheduling: only the oldest
+// transaction may issue, and only once its bank is free. This is the policy
+// used by the simplified memory controller of the formal model (§5.1).
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Scheduler.
+func (FCFS) Pick(q []Entry, now uint64, dev *dram.Device) int {
+	if len(q) == 0 {
+		return -1
+	}
+	if dev.BankBusyUntil(q[0].Coord) > now {
+		return -1
+	}
+	return 0
+}
+
+// FRFCFS is first-ready FCFS, the insecure baseline policy: among
+// transactions whose bank is free it prefers row-buffer hits, breaking ties
+// by age; if no row hit is ready it issues the oldest ready transaction.
+type FRFCFS struct {
+	// WritePressure optionally prioritises writes when more than this many
+	// are queued, modelling write-buffer draining. Zero disables it.
+	WritePressure int
+	// AgeCap bounds reordering: a ready demand request older than this
+	// many cycles is served first regardless of row-hit status, the
+	// standard FR-FCFS starvation guard. Zero selects the default.
+	AgeCap uint64
+}
+
+// defaultAgeCap bounds FR-FCFS reordering (CPU cycles).
+const defaultAgeCap = 1500
+
+// Name implements Scheduler.
+func (FRFCFS) Name() string { return "fr-fcfs" }
+
+// Pick implements Scheduler. Demand traffic outranks prefetch traffic;
+// within each class, row hits outrank older requests.
+func (p FRFCFS) Pick(q []Entry, now uint64, dev *dram.Device) int {
+	writes := 0
+	for i := range q {
+		if q[i].Req.Kind == mem.Write {
+			writes++
+		}
+	}
+	drainWrites := p.WritePressure > 0 && writes >= p.WritePressure
+	ageCap := p.AgeCap
+	if ageCap == 0 {
+		ageCap = defaultAgeCap
+	}
+	// Candidate ranks, best first: starved (over the age cap), demand
+	// row-hit, demand, prefetch row-hit, prefetch. Ties go to the oldest.
+	best := -1
+	bestRank := 5
+	for i := range q {
+		e := &q[i]
+		if dev.BankBusyUntil(e.Coord) > now {
+			continue
+		}
+		if drainWrites && e.Req.Kind != mem.Write {
+			continue
+		}
+		rank := 2
+		if e.Req.Prefetch {
+			rank = 4
+		}
+		if dev.RowOpen(e.Coord) {
+			rank--
+		}
+		age := now - e.Req.Arrival
+		if age > ageCap && (!e.Req.Prefetch || age > 4*ageCap) {
+			rank = 0
+		}
+		if rank < bestRank {
+			bestRank = rank
+			best = i
+			if rank == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// DomainFiltered wraps a policy so that only requests from an allowed set
+// of domains are eligible. It is used by the temporal-partitioning arbiter
+// and by tests that isolate one domain's traffic.
+type DomainFiltered struct {
+	Inner Scheduler
+	Allow func(mem.Domain) bool
+}
+
+// Name implements Scheduler.
+func (d DomainFiltered) Name() string { return d.Inner.Name() + "+filter" }
+
+// Pick implements Scheduler.
+func (d DomainFiltered) Pick(q []Entry, now uint64, dev *dram.Device) int {
+	// Build the filtered view, then translate the inner pick back.
+	idxMap := make([]int, 0, len(q))
+	sub := make([]Entry, 0, len(q))
+	for i := range q {
+		if d.Allow(q[i].Req.Domain) {
+			idxMap = append(idxMap, i)
+			sub = append(sub, q[i])
+		}
+	}
+	if len(sub) == 0 {
+		return -1
+	}
+	inner := d.Inner.Pick(sub, now, dev)
+	if inner < 0 {
+		return -1
+	}
+	return idxMap[inner]
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"testing"
+
+	"dagguise/internal/rdag"
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+)
+
+func docdistSource(t *testing.T) func() trace.Source {
+	t.Helper()
+	tr, err := victim.DocDistTrace(11, victim.DefaultDocDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() trace.Source {
+		cp := *tr
+		return &cp
+	}
+}
+
+func smallSpace() rdag.Space {
+	return rdag.Space{
+		Sequences:   []int{1, 8},
+		Weights:     []uint64{60, 900},
+		WriteRatios: []float64{0.001},
+		Banks:       8,
+	}
+}
+
+func TestSweepShapesFollowPaper(t *testing.T) {
+	opts := Options{Warmup: 5_000, Window: 60_000, KneeFraction: 0.9}
+	res, err := Sweep(docdistSource(t), smallSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineIPC <= 0 {
+		t.Fatal("no baseline IPC")
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	byTpl := map[[2]uint64]Point{}
+	for _, p := range res.Points {
+		byTpl[[2]uint64{uint64(p.Template.Sequences), p.Template.Weight}] = p
+		if p.NormalizedIPC <= 0 || p.NormalizedIPC > 1.05 {
+			t.Errorf("candidate %v normalized IPC %f out of range", p.Template, p.NormalizedIPC)
+		}
+	}
+	dense := byTpl[[2]uint64{8, 60}]
+	sparse := byTpl[[2]uint64{1, 900}]
+	// Figure 7 trends: denser rDAGs allocate more bandwidth and give the
+	// victim higher IPC.
+	if !(dense.AllocatedGBps > sparse.AllocatedGBps) {
+		t.Errorf("dense alloc %.2f not above sparse %.2f", dense.AllocatedGBps, sparse.AllocatedGBps)
+	}
+	if !(dense.IPC > sparse.IPC) {
+		t.Errorf("dense IPC %.3f not above sparse %.3f", dense.IPC, sparse.IPC)
+	}
+}
+
+func TestKneeSelection(t *testing.T) {
+	pts := []Point{
+		{Template: rdag.Template{Sequences: 1, Weight: 900, Banks: 8}, IPC: 0.3, AllocatedGBps: 0.5},
+		{Template: rdag.Template{Sequences: 4, Weight: 300, Banks: 8}, IPC: 0.95, AllocatedGBps: 2.0},
+		{Template: rdag.Template{Sequences: 8, Weight: 60, Banks: 8}, IPC: 1.0, AllocatedGBps: 6.0},
+	}
+	sel := selectKnee(pts, 0.9)
+	if sel.Sequences != 4 {
+		t.Fatalf("knee selected %v, want the 4-sequence candidate", sel)
+	}
+	// A stricter threshold forces the densest candidate.
+	sel = selectKnee(pts, 0.99)
+	if sel.Sequences != 8 {
+		t.Fatalf("strict knee selected %v, want 8 sequences", sel)
+	}
+}
+
+func TestSweepRejectsEmptySpace(t *testing.T) {
+	if _, err := Sweep(docdistSource(t), rdag.Space{}, DefaultOptions()); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestSeriesBySequences(t *testing.T) {
+	res := &Result{Points: []Point{
+		{Template: rdag.Template{Sequences: 2, Weight: 300}},
+		{Template: rdag.Template{Sequences: 2, Weight: 100}},
+		{Template: rdag.Template{Sequences: 4, Weight: 100}},
+	}}
+	series := res.SeriesBySequences()
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	two := series[2]
+	if two[0].Template.Weight != 100 || two[1].Template.Weight != 300 {
+		t.Fatal("series not sorted by weight")
+	}
+}

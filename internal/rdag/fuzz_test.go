@@ -1,0 +1,33 @@
+package rdag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks the graph deserialiser never panics and that every
+// accepted graph satisfies the structural invariants (Validate ran inside
+// UnmarshalJSON) and re-serialises cleanly.
+func FuzzGraphJSON(f *testing.F) {
+	tpl := Template{Sequences: 2, Weight: 100, Banks: 4}
+	g, _ := tpl.Unroll(3)
+	seed, _ := json.Marshal(g)
+	f.Add(seed)
+	f.Add([]byte(`{"vertices":[],"edges":[]}`))
+	f.Add([]byte(`{"vertices":[{"id":0,"bank":0,"kind":0}],"edges":[{"from":0,"to":0,"weight":1}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		// Accepted graphs are valid by construction; exercise traversals.
+		order := g.TopoOrder()
+		if len(order) != len(g.Vertices) {
+			t.Fatalf("topo order covers %d of %d vertices", len(order), len(g.Vertices))
+		}
+		if _, err := json.Marshal(&g); err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+	})
+}

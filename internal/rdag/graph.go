@@ -1,0 +1,297 @@
+// Package rdag implements the Directed Acyclic Request Graph (rDAG)
+// representation introduced by the paper (§4.1), together with the template
+// generator used for offline profiling (§4.3) and the runtime drivers that
+// the DAGguise shaper executes (§4.4).
+//
+// An rDAG vertex is a memory request (bank ID + read/write tag); an edge
+// with weight w says the destination request arrives at the memory
+// controller w cycles after the source request completes. Vertices with no
+// connecting path may be in flight in parallel. Because arrival times are
+// defined relative to completion times — which include unknown contention
+// delays — an rDAG automatically stretches under memory pressure: this is
+// the "versatility" property that lets DAGguise yield bandwidth dynamically.
+package rdag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dagguise/internal/mem"
+)
+
+// VertexID indexes a vertex within a Graph.
+type VertexID int
+
+// Vertex is one memory request in an rDAG.
+type Vertex struct {
+	ID   VertexID `json:"id"`
+	Bank int      `json:"bank"`
+	Kind mem.Kind `json:"kind"` // 0 = read, 1 = write
+	// RowHit marks the request as a row-buffer hit in row-buffer-aware
+	// defense rDAGs (§4.4 extension); omitted for base-scheme rDAGs.
+	RowHit bool `json:"rowhit,omitempty"`
+}
+
+// Edge is a timing dependency: the request at To arrives Weight cycles
+// after the request at From completes.
+type Edge struct {
+	From   VertexID `json:"from"`
+	To     VertexID `json:"to"`
+	Weight uint64   `json:"weight"`
+}
+
+// Graph is a finite rDAG. The zero value is an empty graph; add vertices
+// and edges then call Validate (or use a constructor that does).
+type Graph struct {
+	Vertices []Vertex `json:"vertices"`
+	Edges    []Edge   `json:"edges"`
+
+	succ [][]int // edge indices by source, built by Validate
+	pred [][]int // edge indices by destination
+}
+
+// AddVertex appends a vertex and returns its ID.
+func (g *Graph) AddVertex(bank int, kind mem.Kind) VertexID {
+	id := VertexID(len(g.Vertices))
+	g.Vertices = append(g.Vertices, Vertex{ID: id, Bank: bank, Kind: kind})
+	g.succ = nil
+	g.pred = nil
+	return id
+}
+
+// AddRowHitVertex appends a vertex tagged as a row-buffer hit.
+func (g *Graph) AddRowHitVertex(bank int, kind mem.Kind) VertexID {
+	id := g.AddVertex(bank, kind)
+	g.Vertices[id].RowHit = true
+	return id
+}
+
+// AddEdge appends a timing dependency.
+func (g *Graph) AddEdge(from, to VertexID, weight uint64) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Weight: weight})
+	g.succ = nil
+	g.pred = nil
+}
+
+// Validate checks structural invariants: vertex IDs are dense and match
+// their index, edges reference existing vertices, there are no self-loops
+// or duplicate edges, and the graph is acyclic. It also builds the
+// adjacency indices used by the traversal helpers.
+func (g *Graph) Validate() error {
+	for i, v := range g.Vertices {
+		if int(v.ID) != i {
+			return fmt.Errorf("rdag: vertex %d has ID %d; IDs must equal their index", i, v.ID)
+		}
+		if v.Bank < 0 {
+			return fmt.Errorf("rdag: vertex %d has negative bank %d", i, v.Bank)
+		}
+		if v.Kind != mem.Read && v.Kind != mem.Write {
+			return fmt.Errorf("rdag: vertex %d has invalid kind %d", i, v.Kind)
+		}
+	}
+	n := len(g.Vertices)
+	seen := make(map[[2]VertexID]bool, len(g.Edges))
+	g.succ = make([][]int, n)
+	g.pred = make([][]int, n)
+	for i, e := range g.Edges {
+		if int(e.From) < 0 || int(e.From) >= n || int(e.To) < 0 || int(e.To) >= n {
+			return fmt.Errorf("rdag: edge %d (%d->%d) references missing vertex", i, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("rdag: edge %d is a self-loop on vertex %d", i, e.From)
+		}
+		key := [2]VertexID{e.From, e.To}
+		if seen[key] {
+			return fmt.Errorf("rdag: duplicate edge %d->%d", e.From, e.To)
+		}
+		seen[key] = true
+		g.succ[e.From] = append(g.succ[e.From], i)
+		g.pred[e.To] = append(g.pred[e.To], i)
+	}
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns a topological ordering, or an error naming a vertex on
+// a cycle.
+func (g *Graph) topoOrder() ([]VertexID, error) {
+	n := len(g.Vertices)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]VertexID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, VertexID(i))
+		}
+	}
+	order := make([]VertexID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.succ[v] {
+			to := g.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("rdag: cycle detected involving vertex %d", i)
+			}
+		}
+	}
+	return order, nil
+}
+
+// TopoOrder returns a topological ordering of the vertices. Validate must
+// have succeeded.
+func (g *Graph) TopoOrder() []VertexID {
+	order, err := g.topoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// Roots returns the vertices with no predecessors.
+func (g *Graph) Roots() []VertexID {
+	g.ensureAdj()
+	var roots []VertexID
+	for i := range g.Vertices {
+		if len(g.pred[i]) == 0 {
+			roots = append(roots, VertexID(i))
+		}
+	}
+	return roots
+}
+
+// Sinks returns the vertices with no successors.
+func (g *Graph) Sinks() []VertexID {
+	g.ensureAdj()
+	var sinks []VertexID
+	for i := range g.Vertices {
+		if len(g.succ[i]) == 0 {
+			sinks = append(sinks, VertexID(i))
+		}
+	}
+	return sinks
+}
+
+func (g *Graph) ensureAdj() {
+	if g.succ != nil && len(g.succ) == len(g.Vertices) {
+		return
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Successors returns the out-edges of v.
+func (g *Graph) Successors(v VertexID) []Edge {
+	g.ensureAdj()
+	out := make([]Edge, len(g.succ[v]))
+	for i, ei := range g.succ[v] {
+		out[i] = g.Edges[ei]
+	}
+	return out
+}
+
+// Predecessors returns the in-edges of v.
+func (g *Graph) Predecessors(v VertexID) []Edge {
+	g.ensureAdj()
+	out := make([]Edge, len(g.pred[v]))
+	for i, ei := range g.pred[v] {
+		out[i] = g.Edges[ei]
+	}
+	return out
+}
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v VertexID) int {
+	g.ensureAdj()
+	return len(g.pred[v])
+}
+
+// CriticalPathWeight returns the largest sum of edge weights along any
+// path, a lower bound on one traversal of the rDAG with zero memory
+// latency. Useful when reasoning about the density of a defense rDAG.
+func (g *Graph) CriticalPathWeight() uint64 {
+	g.ensureAdj()
+	order := g.TopoOrder()
+	dist := make([]uint64, len(g.Vertices))
+	var best uint64
+	for _, v := range order {
+		for _, ei := range g.succ[v] {
+			e := g.Edges[ei]
+			if d := dist[v] + e.Weight; d > dist[e.To] {
+				dist[e.To] = d
+			}
+		}
+		if dist[v] > best {
+			best = dist[v]
+		}
+	}
+	return best
+}
+
+// MarshalJSON implements json.Marshaler using the exported fields only.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Vertices []Vertex `json:"vertices"`
+		Edges    []Edge   `json:"edges"`
+	}
+	return json.Marshal(wire{Vertices: g.Vertices, Edges: g.Edges})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	type wire struct {
+		Vertices []Vertex `json:"vertices"`
+		Edges    []Edge   `json:"edges"`
+	}
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	g.Vertices = w.Vertices
+	g.Edges = w.Edges
+	g.succ, g.pred = nil, nil
+	return g.Validate()
+}
+
+// DOT renders the graph in Graphviz dot format, with banks as vertex
+// labels and weights as edge labels (Figure 4 style).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	for _, v := range g.Vertices {
+		shape := "circle"
+		if v.Kind == mem.Write {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"b%d\" shape=%s];\n", v.ID, v.Bank, shape)
+	}
+	edges := make([]Edge, len(g.Edges))
+	copy(edges, g.Edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  v%d -> v%d [label=\"%d\"];\n", e.From, e.To, e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

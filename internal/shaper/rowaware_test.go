@@ -1,0 +1,215 @@
+package shaper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dagguise/internal/mem"
+	"dagguise/internal/rdag"
+)
+
+// rowAwareShaper: a single-sequence, single-bank template where 3 of every
+// 4 requests are row hits.
+func rowAwareShaper(t *testing.T) (*Shaper, *mem.Mapper) {
+	t.Helper()
+	m := testMapper()
+	d := rdag.MustPatternDriver(rdag.Template{
+		Sequences: 8, Weight: 0, Banks: 8, RowHitRatio: 0.75,
+	})
+	return New(1, d, m, 8, allocator(), 5), m
+}
+
+func TestRowAwareSlotsCarryRelations(t *testing.T) {
+	d := rdag.MustPatternDriver(rdag.Template{Sequences: 1, Weight: 0, Banks: 1, RowHitRatio: 0.75})
+	var rels []rdag.RowRelation
+	now := uint64(0)
+	for i := 0; i < 8; i++ {
+		s := d.Poll(now)[0]
+		rels = append(rels, s.Row)
+		now += 10
+		d.Complete(s.Token, now)
+	}
+	hits := 0
+	for _, r := range rels {
+		switch r {
+		case rdag.RowHitSlot:
+			hits++
+		case rdag.RowAny:
+			t.Fatal("row-aware template emitted a RowAny slot")
+		}
+	}
+	if hits != 6 {
+		t.Fatalf("hits = %d of 8 at ratio 0.75, relations=%v", hits, rels)
+	}
+}
+
+func TestRowAwareFakesFollowPrescription(t *testing.T) {
+	s, m := rowAwareShaper(t)
+	// With an empty queue everything is fake; the emitted rows must obey
+	// the hit/miss prescription relative to the shaper's own row state.
+	lastRow := map[int]uint64{}
+	now := uint64(0)
+	for step := 0; step < 64; step++ {
+		for _, r := range s.Tick(now) {
+			c := m.Decode(r.Addr)
+			fb := m.FlatBank(c)
+			// Reconstruct the expected relation from the shaper's
+			// observable behaviour: if a previous row exists, the
+			// request either reuses it (hit) or differs (miss); both
+			// must match what the template prescribes. We can't see the
+			// slot here, so check consistency: a repeated row is only
+			// legal if the template has hits at all.
+			if prev, ok := lastRow[fb]; ok && prev == c.Row {
+				// row reuse implies the template prescribes hits
+			}
+			lastRow[fb] = c.Row
+			s.OnResponse(mem.Response{ID: r.ID, Fake: r.Fake, Domain: 1}, now)
+		}
+		now++
+	}
+	// Overall, with ratio 0.75 most fakes must reuse rows: count reuse.
+	s2, m2 := rowAwareShaper(t)
+	reuse, total := 0, 0
+	last := map[int]uint64{}
+	now = 0
+	for step := 0; step < 400; step++ {
+		for _, r := range s2.Tick(now) {
+			c := m2.Decode(r.Addr)
+			fb := m2.FlatBank(c)
+			if prev, ok := last[fb]; ok {
+				total++
+				if prev == c.Row {
+					reuse++
+				}
+			}
+			last[fb] = c.Row
+			s2.OnResponse(mem.Response{ID: r.ID, Fake: r.Fake, Domain: 1}, now)
+		}
+		now++
+	}
+	if total == 0 {
+		t.Fatal("no emissions")
+	}
+	frac := float64(reuse) / float64(total)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("row reuse fraction %.2f, want ~0.75", frac)
+	}
+}
+
+func TestRowAwareMatchRequiresRowRelation(t *testing.T) {
+	m := testMapper()
+	// All-hits template on one bank: after the first (miss-started)
+	// request establishes a row, only same-row requests can be real.
+	d := rdag.MustPatternDriver(rdag.Template{Sequences: 8, Weight: 0, Banks: 8, RowHitRatio: 0.999})
+	s := New(1, d, m, 8, allocator(), 3)
+
+	// Establish bank 0's row via a fake.
+	var bank0Row uint64
+	now := uint64(0)
+	for _, r := range s.Tick(now) {
+		c := m.Decode(r.Addr)
+		if m.FlatBank(c) == 0 {
+			bank0Row = c.Row
+		}
+		s.OnResponse(mem.Response{ID: r.ID, Fake: r.Fake, Domain: 1}, now)
+	}
+	// A pending request to bank 0 in a DIFFERENT row must not be
+	// forwarded on a hit slot.
+	s.Enqueue(mem.Request{ID: 100, Addr: m.AddrForBank(0, bank0Row+5, 0), Kind: mem.Read, Domain: 1}, now)
+	// A pending request in the SAME row must be forwarded.
+	s.Enqueue(mem.Request{ID: 101, Addr: m.AddrForBank(0, bank0Row, 1), Kind: mem.Read, Domain: 1}, now)
+	now++
+	var forwarded []uint64
+	for step := 0; step < 4; step++ {
+		for _, r := range s.Tick(now) {
+			if !r.Fake && m.FlatBank(m.Decode(r.Addr)) == 0 {
+				forwarded = append(forwarded, r.ID)
+			}
+			s.OnResponse(mem.Response{ID: r.ID, Fake: r.Fake, Domain: 1}, now)
+		}
+		now++
+	}
+	if len(forwarded) == 0 || forwarded[0] != 101 {
+		t.Fatalf("forwarded = %v, want the same-row request 101 first", forwarded)
+	}
+}
+
+func TestRowAwareEmissionIndependence(t *testing.T) {
+	// The security property with the row-aware extension: the
+	// (time, bank, row) schedule leaving the shaper is independent of
+	// the victim's requests. Rows of REAL requests are the victim's own,
+	// so the check is on (time, bank, hit/miss relation): reconstruct it
+	// from the emitted rows.
+	type emissionRel struct {
+		At    uint64
+		Bank  int
+		Reuse bool
+	}
+	run := func(gaps []uint8) []emissionRel {
+		m := testMapper()
+		d := rdag.MustPatternDriver(rdag.Template{Sequences: 4, Weight: 30, Banks: 8, RowHitRatio: 0.5})
+		s := New(1, d, m, 8, allocator(), 7)
+		last := map[int]uint64{}
+		var log []emissionRel
+		type flight struct {
+			at   uint64
+			resp mem.Response
+		}
+		var flights []flight
+		nextV := uint64(0)
+		vi := 0
+		id := uint64(0)
+		for now := uint64(0); now < 4000; now++ {
+			if len(gaps) > 0 && now >= nextV && !s.Full() {
+				id++
+				bank := int(gaps[vi%len(gaps)]) % 8
+				// Half the victim requests reuse the shaper's row to
+				// exercise the hit-matching path.
+				row := uint64(vi % 3)
+				if r, ok := last[bank]; ok && vi%2 == 0 {
+					row = r
+				}
+				s.Enqueue(mem.Request{ID: id, Addr: m.AddrForBank(bank, row, 0), Kind: mem.Read, Domain: 1}, now)
+				nextV = now + uint64(gaps[vi%len(gaps)]%50) + 1
+				vi++
+			}
+			for _, r := range s.Tick(now) {
+				c := m.Decode(r.Addr)
+				fb := m.FlatBank(c)
+				prev, ok := last[fb]
+				log = append(log, emissionRel{At: now, Bank: fb, Reuse: ok && prev == c.Row})
+				last[fb] = c.Row
+				flights = append(flights, flight{now + 60, mem.Response{ID: r.ID, Fake: r.Fake, Domain: 1}})
+			}
+			keep := flights[:0]
+			for _, f := range flights {
+				if f.at <= now {
+					s.OnResponse(f.resp, now)
+				} else {
+					keep = append(keep, f)
+				}
+			}
+			flights = keep
+		}
+		return log
+	}
+	base := run(nil)
+	if len(base) == 0 {
+		t.Fatal("no emissions")
+	}
+	f := func(gaps []uint8) bool {
+		got := run(gaps)
+		if len(got) != len(base) {
+			return false
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatalf("row-aware emission schedule depends on victim pattern: %v", err)
+	}
+}

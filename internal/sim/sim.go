@@ -1,0 +1,413 @@
+// Package sim wires the full simulated machine together: trace-driven
+// cores with private cache hierarchies, optional DAGguise or Camouflage
+// shapers per protected domain, a shared memory controller with the
+// configured scheduling policy (insecure FR-FCFS, FS, FS-BTA, TP), and the
+// DRAM device model. It drives everything cycle by cycle and reports
+// per-core IPC and bandwidth, the measurements behind Figures 7, 9 and 10.
+package sim
+
+import (
+	"fmt"
+
+	"dagguise/internal/cache"
+	"dagguise/internal/camouflage"
+	"dagguise/internal/config"
+	"dagguise/internal/cpu"
+	"dagguise/internal/dram"
+	"dagguise/internal/mem"
+	"dagguise/internal/memctrl"
+	"dagguise/internal/rdag"
+	"dagguise/internal/sched"
+	"dagguise/internal/shaper"
+	"dagguise/internal/trace"
+)
+
+// CPUFrequencyHz is the simulated core clock (Table 2).
+const CPUFrequencyHz = 2.4e9
+
+// privateQueueDepth is the per-domain private transaction queue depth of
+// the shaper hardware (8 entries in the paper's area evaluation).
+const privateQueueDepth = 8
+
+// CoreSpec describes one core's software and protection needs.
+type CoreSpec struct {
+	// Name labels the core in results.
+	Name string
+	// Source supplies the core's trace (usually an infinite/looped one).
+	Source trace.Source
+	// Protected marks the core's domain as security sensitive. Under
+	// DAGguise it gets a request shaper, under Camouflage a distribution
+	// shaper, and under FS/FS-BTA/TP its own slot group.
+	Protected bool
+	// Defense is the defense rDAG template for DAGguise (ignored
+	// otherwise). Zero value selects a reasonable default.
+	Defense rdag.Template
+	// Distribution is the target interval distribution for Camouflage.
+	Distribution camouflage.Distribution
+}
+
+// System is a fully wired simulated machine.
+type System struct {
+	cfg    config.SystemConfig
+	mapper *mem.Mapper
+	dev    *dram.Device
+	ctrl   *memctrl.Controller
+	cores  []*cpu.Core
+	specs  []CoreSpec
+
+	shapers map[mem.Domain]*shaper.Shaper
+	camos   map[mem.Domain]*camouflage.Shaper
+	egress  map[mem.Domain][]mem.Request
+	order   []mem.Domain // shaper service order, deterministic
+
+	now    uint64
+	nextID uint64
+}
+
+// domainOf maps core index to its security domain (domains start at 1;
+// domain 0 is reserved for unattributed traffic).
+func domainOf(core int) mem.Domain { return mem.Domain(core + 1) }
+
+// New builds a system from the configuration and core specs.
+func New(cfg config.SystemConfig, specs []CoreSpec) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d core specs for %d cores", len(specs), cfg.Cores)
+	}
+	// The row-buffer-aware extension (§4.4): when every protected
+	// domain's defense rDAG encodes its own row-hit pattern, the
+	// closed-row policy is unnecessary — the rDAG prescribes the
+	// row-buffer behaviour instead.
+	if cfg.Scheme == config.DAGguise {
+		rowAware := false
+		for _, spec := range specs {
+			if spec.Protected && spec.Defense.RowHitRatio > 0 {
+				rowAware = true
+			} else if spec.Protected {
+				rowAware = false
+				break
+			}
+		}
+		if rowAware {
+			cfg.ClosedRow = false
+		}
+	}
+	mapper := mem.MustMapper(cfg.Geometry)
+	dev := dram.New(cfg.Timing, mapper, cfg.ClosedRow)
+
+	s := &System{
+		cfg:     cfg,
+		mapper:  mapper,
+		dev:     dev,
+		shapers: make(map[mem.Domain]*shaper.Shaper),
+		camos:   make(map[mem.Domain]*camouflage.Shaper),
+		egress:  make(map[mem.Domain][]mem.Request),
+		specs:   specs,
+	}
+
+	policy, err := s.buildPolicy(specs)
+	if err != nil {
+		return nil, err
+	}
+	// Every scheme partitions the transaction queue per domain: real
+	// controllers give each source its own read queue/credits, and a
+	// shared queue lets one streaming core monopolise entries and starve
+	// the rest (for the secure schemes partitioning is mandatory — see
+	// Controller.PartitionQueue).
+	s.ctrl = memctrl.New(dev, mapper, policy, privateQueueDepth*cfg.Cores)
+	s.ctrl.PartitionQueue(privateQueueDepth)
+
+	alloc := cpu.IDAlloc(s.alloc)
+	for i, spec := range specs {
+		dom := domainOf(i)
+		hier, err := cache.NewHierarchy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		port, err := s.buildPort(dom, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, cpu.New(dom, spec.Source, hier, cfg.Core, port, alloc))
+	}
+	return s, nil
+}
+
+func (s *System) alloc() uint64 {
+	s.nextID++
+	return s.nextID
+}
+
+// buildPolicy selects the scheduling policy for the configured scheme.
+func (s *System) buildPolicy(specs []CoreSpec) (memctrl.Scheduler, error) {
+	switch s.cfg.Scheme {
+	case config.Insecure, config.Camouflage:
+		return memctrl.FRFCFS{}, nil
+	case config.DAGguise:
+		// DAGguise keeps the high-performance scheduler: dynamic
+		// contention is safe because the shaped stream is already
+		// secret-independent.
+		return memctrl.FRFCFS{}, nil
+	case config.FixedService, config.FSBTA, config.TemporalPartitioning:
+		groups := buildGroups(specs)
+		switch s.cfg.Scheme {
+		case config.FixedService:
+			return sched.NewFixedService(s.cfg.Timing, groups), nil
+		case config.FSBTA:
+			if s.cfg.FSBTAStrideDRAM > 0 {
+				return sched.NewFSBTAWithStride(s.cfg.Timing, groups, s.cfg.FSBTAStrideDRAM), nil
+			}
+			return sched.NewFSBTA(s.cfg.Timing, groups), nil
+		default:
+			return sched.NewTemporalPartitioning(s.cfg.Timing, groups, 96), nil
+		}
+	default:
+		return nil, fmt.Errorf("sim: unsupported scheme %v", s.cfg.Scheme)
+	}
+}
+
+// buildGroups constructs the slot rotation for FS-family arbiters: each
+// protected core alone in its group, all unprotected cores sharing one
+// group that appears once per unprotected core. On the paper's eight-core
+// setup this yields the 4 x 1/8 victim slots + 4/8 shared SPEC slots.
+func buildGroups(specs []CoreSpec) []sched.Group {
+	var unprotected sched.Group
+	for i, spec := range specs {
+		if !spec.Protected {
+			unprotected = append(unprotected, domainOf(i))
+		}
+	}
+	var groups []sched.Group
+	for i, spec := range specs {
+		if spec.Protected {
+			groups = append(groups, sched.Group{domainOf(i)})
+		} else {
+			groups = append(groups, unprotected)
+		}
+	}
+	return groups
+}
+
+// ctrlPort adapts the controller as a core port.
+type ctrlPort struct{ s *System }
+
+func (p ctrlPort) TryEnqueue(req mem.Request, now uint64) bool {
+	return p.s.ctrl.Enqueue(req, now)
+}
+
+// dagPort adapts a DAGguise shaper as a core port.
+type dagPort struct{ sh *shaper.Shaper }
+
+func (p dagPort) TryEnqueue(req mem.Request, now uint64) bool {
+	if p.sh.Full() {
+		return false
+	}
+	return p.sh.Enqueue(req, now)
+}
+
+// camoPort adapts a Camouflage shaper as a core port.
+type camoPort struct{ sh *camouflage.Shaper }
+
+func (p camoPort) TryEnqueue(req mem.Request, now uint64) bool {
+	if p.sh.Full() {
+		return false
+	}
+	return p.sh.Enqueue(req, now)
+}
+
+func (s *System) buildPort(dom mem.Domain, spec CoreSpec) (cpu.Port, error) {
+	if !spec.Protected {
+		return ctrlPort{s}, nil
+	}
+	switch s.cfg.Scheme {
+	case config.DAGguise:
+		tpl := spec.Defense
+		if tpl.Sequences == 0 {
+			tpl = rdag.Template{Sequences: 4, Weight: 300, WriteRatio: 0.001, Banks: s.mapper.BankCount()}
+		}
+		driver, err := rdag.NewPatternDriver(tpl)
+		if err != nil {
+			return nil, err
+		}
+		sh := shaper.New(dom, driver, s.mapper, privateQueueDepth, s.alloc, int64(dom)*7919)
+		s.shapers[dom] = sh
+		s.order = append(s.order, dom)
+		return dagPort{sh}, nil
+	case config.Camouflage:
+		dist := spec.Distribution
+		if len(dist.Intervals) == 0 {
+			dist = camouflage.Distribution{Intervals: []uint64{200, 300, 400, 600}}
+		}
+		sh, err := camouflage.New(dom, dist, s.mapper, privateQueueDepth, s.alloc, int64(dom)*104729)
+		if err != nil {
+			return nil, err
+		}
+		s.camos[dom] = sh
+		s.order = append(s.order, dom)
+		return camoPort{sh}, nil
+	default:
+		// FS-family schemes protect at the scheduler; cores talk to the
+		// controller directly. Insecure runs unshaped by definition.
+		return ctrlPort{s}, nil
+	}
+}
+
+// Tick advances the whole machine one cycle.
+func (s *System) Tick() {
+	now := s.now
+	for _, c := range s.cores {
+		c.Tick(now)
+	}
+	for _, dom := range s.order {
+		if sh, ok := s.shapers[dom]; ok {
+			s.egress[dom] = append(s.egress[dom], sh.Tick(now)...)
+		}
+		if sh, ok := s.camos[dom]; ok {
+			s.egress[dom] = append(s.egress[dom], sh.Tick(now)...)
+		}
+		q := s.egress[dom]
+		for len(q) > 0 && s.ctrl.Enqueue(q[0], now) {
+			q = q[1:]
+		}
+		s.egress[dom] = q
+	}
+	for _, resp := range s.ctrl.Tick(now) {
+		s.route(resp, now)
+	}
+	s.now++
+}
+
+func (s *System) route(resp mem.Response, now uint64) {
+	if sh, ok := s.shapers[resp.Domain]; ok {
+		if sh.OnResponse(resp, now) {
+			s.coreFor(resp.Domain).OnResponse(resp, now)
+		}
+		return
+	}
+	if sh, ok := s.camos[resp.Domain]; ok {
+		if sh.OnResponse(resp, now) {
+			s.coreFor(resp.Domain).OnResponse(resp, now)
+		}
+		return
+	}
+	s.coreFor(resp.Domain).OnResponse(resp, now)
+}
+
+func (s *System) coreFor(d mem.Domain) *cpu.Core {
+	return s.cores[int(d)-1]
+}
+
+// Run advances the machine by the given number of cycles.
+func (s *System) Run(cycles uint64) {
+	end := s.now + cycles
+	for s.now < end {
+		s.Tick()
+	}
+}
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.now }
+
+// Controller exposes the memory controller (for attack experiments and
+// detailed inspection).
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// Core returns core i.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Shaper returns the DAGguise shaper of the domain, if any.
+func (s *System) Shaper(d mem.Domain) (*shaper.Shaper, bool) {
+	sh, ok := s.shapers[d]
+	return sh, ok
+}
+
+// CoreResult is the per-core outcome of a measurement window.
+type CoreResult struct {
+	Name          string
+	Domain        mem.Domain
+	IPC           float64
+	Instructions  uint64
+	MemReads      uint64
+	Writebacks    uint64
+	BandwidthGBps float64
+	// ShaperFakes / ShaperForwarded are zero for unshaped cores.
+	ShaperFakes     uint64
+	ShaperForwarded uint64
+}
+
+// Result is the outcome of a measurement window.
+type Result struct {
+	Cycles        uint64
+	Cores         []CoreResult
+	TotalGBps     float64
+	RowHits       uint64
+	RowMisses     uint64
+	RowConflicts  uint64
+	QueueMaxDepth int
+}
+
+type snapshot struct {
+	inst  []uint64
+	reads []uint64
+	wbs   []uint64
+	bytes []uint64
+	fakes []uint64
+	fwd   []uint64
+	total uint64
+	cycle uint64
+}
+
+func (s *System) snap() snapshot {
+	sn := snapshot{cycle: s.now, total: s.ctrl.Stats().BytesServed}
+	for i, c := range s.cores {
+		st := c.Stats()
+		sn.inst = append(sn.inst, st.Instructions)
+		sn.reads = append(sn.reads, st.MemReads)
+		sn.wbs = append(sn.wbs, st.Writebacks)
+		sn.bytes = append(sn.bytes, s.ctrl.BytesForDomain(domainOf(i)))
+		var fakes, fwd uint64
+		if sh, ok := s.shapers[domainOf(i)]; ok {
+			fakes, fwd = sh.Stats().Fakes, sh.Stats().Forwarded
+		}
+		if sh, ok := s.camos[domainOf(i)]; ok {
+			fakes, fwd = sh.Stats().Fakes, sh.Stats().Forwarded
+		}
+		sn.fakes = append(sn.fakes, fakes)
+		sn.fwd = append(sn.fwd, fwd)
+	}
+	return sn
+}
+
+// Measure runs warmup cycles (discarded) then a measurement window and
+// returns per-core IPC and bandwidth over that window.
+func (s *System) Measure(warmup, window uint64) Result {
+	s.Run(warmup)
+	before := s.snap()
+	s.Run(window)
+	after := s.snap()
+
+	cycles := after.cycle - before.cycle
+	res := Result{Cycles: cycles}
+	toGBps := func(bytes uint64) float64 {
+		return float64(bytes) * CPUFrequencyHz / float64(cycles) / 1e9
+	}
+	for i := range s.cores {
+		res.Cores = append(res.Cores, CoreResult{
+			Name:            s.specs[i].Name,
+			Domain:          domainOf(i),
+			IPC:             float64(after.inst[i]-before.inst[i]) / float64(cycles),
+			Instructions:    after.inst[i] - before.inst[i],
+			MemReads:        after.reads[i] - before.reads[i],
+			Writebacks:      after.wbs[i] - before.wbs[i],
+			BandwidthGBps:   toGBps(after.bytes[i] - before.bytes[i]),
+			ShaperFakes:     after.fakes[i] - before.fakes[i],
+			ShaperForwarded: after.fwd[i] - before.fwd[i],
+		})
+	}
+	res.TotalGBps = toGBps(after.total - before.total)
+	res.RowHits, res.RowMisses, res.RowConflicts, _ = s.dev.Stats()
+	res.QueueMaxDepth = s.ctrl.Stats().MaxQueueLen
+	return res
+}

@@ -1,0 +1,193 @@
+package smt
+
+import (
+	"fmt"
+
+	"dagguise/internal/rdag"
+	"dagguise/internal/stats"
+)
+
+// SecretTrace builds the victim µop stream of a square-and-multiply-style
+// computation over the secret bits: every bit costs a squaring (MUL plus
+// ALU work); a set bit additionally uses the non-pipelined divider (the
+// modular reduction of a multiply step) — the unit whose port contention
+// the attacker observes.
+func SecretTrace(bits []int) []UOp {
+	var ops []UOp
+	for _, b := range bits {
+		ops = append(ops,
+			UOp{Unit: MUL, Gap: 2},
+			UOp{Unit: ALU, Gap: 1},
+		)
+		if b != 0 {
+			ops = append(ops, UOp{Unit: DIV, Gap: 1})
+		}
+		ops = append(ops, UOp{Unit: ALU, Gap: 3})
+	}
+	return ops
+}
+
+// DefaultDefense is a defense rDAG for the port channel: one sequence per
+// unit class with a uniform inter-request weight, so every class is
+// exercised at a fixed, secret-independent rate.
+func DefaultDefense() rdag.Template {
+	return rdag.Template{Sequences: int(numUnits), Weight: 6, Banks: int(numUnits)}
+}
+
+// victimThread issues µops in order as ports allow (unshaped victim).
+type victimThread struct {
+	ops       []UOp
+	pos       int
+	readyAt   uint64
+	pending   bool
+	done      uint64
+	executing bool
+}
+
+func (v *victimThread) tick(now uint64, core *Core) {
+	if v.executing {
+		if v.done <= now {
+			v.executing = false
+		} else {
+			return
+		}
+	}
+	if !v.pending {
+		if len(v.ops) == 0 {
+			return
+		}
+		op := v.ops[v.pos%len(v.ops)]
+		v.pos++
+		v.readyAt = now + uint64(op.Gap)
+		v.pending = true
+	}
+	op := v.ops[(v.pos-1)%len(v.ops)]
+	if now < v.readyAt {
+		return
+	}
+	if done, ok := core.tryIssue(op.Unit, now); ok {
+		v.pending = false
+		v.executing = true
+		v.done = done
+	}
+}
+
+// shapedVictim feeds µops through the port shaper.
+type shapedVictim struct {
+	ops     []UOp
+	pos     int
+	readyAt uint64
+	shaper  *PortShaper
+}
+
+func (v *shapedVictim) tick(now uint64, core *Core) {
+	if len(v.ops) > 0 && now >= v.readyAt && !v.shaper.Full() {
+		op := v.ops[v.pos%len(v.ops)]
+		v.pos++
+		v.shaper.Enqueue(op)
+		v.readyAt = now + uint64(op.Gap)
+	}
+	v.shaper.Tick(now, core)
+}
+
+// RunChannel simulates the two-thread core until the attacker collects
+// nProbes divider-latency samples. The attacker repeatedly issues a DIV
+// probe a fixed gap after the previous one completes and records
+// issue-request-to-completion latency. shaped selects the DAGguise port
+// shaper for the victim.
+func RunChannel(victim []UOp, shaped bool, defense rdag.Template, nProbes int) ([]uint64, error) {
+	core := NewCore()
+	var unshaped *victimThread
+	var protected *shapedVictim
+	if shaped {
+		sh, err := NewPortShaper(defense)
+		if err != nil {
+			return nil, err
+		}
+		protected = &shapedVictim{ops: victim, shaper: sh}
+	} else {
+		unshaped = &victimThread{ops: victim}
+	}
+
+	var latencies []uint64
+	const probeGap = 8
+	aReady := uint64(0)
+	aWant := false
+	var aRequested uint64
+	aExecuting := false
+	var aDone uint64
+
+	for now := uint64(0); now < 4_000_000 && len(latencies) < nProbes; now++ {
+		// Attacker (thread 1) issues first each cycle: a fixed, secret-
+		// independent arbitration order.
+		if aExecuting && aDone <= now {
+			aExecuting = false
+			latencies = append(latencies, aDone-aRequested)
+			aReady = now + probeGap
+		}
+		if !aExecuting && !aWant && now >= aReady {
+			aWant = true
+			aRequested = now
+		}
+		if aWant {
+			if done, ok := core.tryIssue(DIV, now); ok {
+				aWant = false
+				aExecuting = true
+				aDone = done
+			}
+		}
+		// Victim (thread 0).
+		if protected != nil {
+			protected.tick(now, core)
+		} else {
+			unshaped.tick(now, core)
+		}
+	}
+	if len(latencies) < nProbes {
+		return latencies, fmt.Errorf("smt: attacker starved: %d of %d probes", len(latencies), nProbes)
+	}
+	return latencies, nil
+}
+
+// Leakage quantifies how well the port-contention attacker distinguishes
+// two victim secrets, with and without shaping.
+type Leakage struct {
+	InsecureMI float64
+	ShapedMI   float64
+}
+
+// MeasureLeakage runs both secrets through the channel unshaped and
+// shaped, returning per-position mutual information for each.
+func MeasureLeakage(secret0, secret1 []int, defense rdag.Template, probes int) (Leakage, error) {
+	run := func(bits []int, shaped bool) ([][]uint64, error) {
+		lats, err := RunChannel(SecretTrace(bits), shaped, defense, probes)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]uint64, len(lats))
+		for i, l := range lats {
+			out[i] = []uint64{l}
+		}
+		return out, nil
+	}
+	var res Leakage
+	i0, err := run(secret0, false)
+	if err != nil {
+		return res, err
+	}
+	i1, err := run(secret1, false)
+	if err != nil {
+		return res, err
+	}
+	res.InsecureMI = stats.SequenceMI(i0, i1, 1)
+	s0, err := run(secret0, true)
+	if err != nil {
+		return res, err
+	}
+	s1, err := run(secret1, true)
+	if err != nil {
+		return res, err
+	}
+	res.ShapedMI = stats.SequenceMI(s0, s1, 1)
+	return res, nil
+}

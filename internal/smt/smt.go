@@ -1,0 +1,217 @@
+// Package smt demonstrates the paper's §7 claim that DAGguise generalises
+// beyond memory controllers: rDAGs can shape *any* scheduler-mediated
+// request stream. Here the shared resource is the functional-unit ports of
+// an SMT core (the PORTSMASH-style channel of Aldaya et al.): two hardware
+// threads compete for issue ports, a victim's secret-dependent use of a
+// low-throughput unit (the non-pipelined divider) delays the attacker's
+// own µops, and the attacker reads the secret from its issue latencies.
+//
+// The defense is the same shaper, re-instantiated: a defense rDAG whose
+// vertices name functional-unit classes instead of DRAM banks, executed by
+// the identical rdag.PatternDriver. The shaper sits between decode and
+// dispatch, delaying the victim's µops to the prescribed schedule and
+// dispatching fake µops when no real one matches the prescribed unit.
+package smt
+
+import (
+	"fmt"
+
+	"dagguise/internal/rdag"
+)
+
+// Unit is a functional-unit class.
+type Unit int
+
+// The modelled unit classes.
+const (
+	ALU Unit = iota
+	MUL
+	DIV
+	LSU
+	numUnits
+)
+
+// String names the unit.
+func (u Unit) String() string {
+	switch u {
+	case ALU:
+		return "alu"
+	case MUL:
+		return "mul"
+	case DIV:
+		return "div"
+	case LSU:
+		return "lsu"
+	}
+	return fmt.Sprintf("unit(%d)", int(u))
+}
+
+// UOp is one micro-operation of a thread's trace.
+type UOp struct {
+	Unit Unit
+	// Gap is the number of cycles the thread is busy with unshared work
+	// before this µop becomes ready.
+	Gap int
+}
+
+// unitSpec describes a unit class's ports and timing.
+type unitSpec struct {
+	ports     int
+	latency   uint64
+	pipelined bool
+}
+
+// defaultUnits models a small SMT back-end: two ALUs (1-cycle), one
+// pipelined multiplier (3-cycle), one NON-pipelined divider (12-cycle; the
+// contended resource of the attack), one load/store port (4-cycle).
+func defaultUnits() map[Unit]unitSpec {
+	return map[Unit]unitSpec{
+		ALU: {ports: 2, latency: 1, pipelined: true},
+		MUL: {ports: 1, latency: 3, pipelined: true},
+		DIV: {ports: 1, latency: 12, pipelined: false},
+		LSU: {ports: 1, latency: 4, pipelined: true},
+	}
+}
+
+// Core is a two-thread SMT core sharing functional-unit ports. Thread 0 is
+// the victim (optionally shaped), thread 1 the attacker.
+type Core struct {
+	units map[Unit]unitSpec
+	// busyUntil[u][p]: cycle port p of unit u frees (for non-pipelined
+	// units this is completion; for pipelined ones it is the next issue
+	// opportunity, i.e. one cycle after issue).
+	busyUntil map[Unit][]uint64
+
+	priority int // alternating arbitration winner
+}
+
+// NewCore builds the default SMT core.
+func NewCore() *Core {
+	c := &Core{units: defaultUnits(), busyUntil: make(map[Unit][]uint64)}
+	for u, spec := range c.units {
+		c.busyUntil[u] = make([]uint64, spec.ports)
+	}
+	return c
+}
+
+// tryIssue issues a µop of the unit class at cycle now if a port is free,
+// returning the completion cycle and success.
+func (c *Core) tryIssue(u Unit, now uint64) (uint64, bool) {
+	spec := c.units[u]
+	for p := 0; p < spec.ports; p++ {
+		if c.busyUntil[u][p] <= now {
+			if spec.pipelined {
+				c.busyUntil[u][p] = now + 1
+			} else {
+				c.busyUntil[u][p] = now + spec.latency
+			}
+			return now + spec.latency, true
+		}
+	}
+	return 0, false
+}
+
+// Latency returns the unit's execution latency.
+func (c *Core) Latency(u Unit) uint64 { return c.units[u].latency }
+
+// PortShaper is the DAGguise shaper re-targeted at dispatch: it buffers
+// the victim thread's µops and releases them (or fakes) per the defense
+// rDAG. Slot banks index unit classes.
+type PortShaper struct {
+	driver rdag.Driver
+	queue  []UOp
+	cap    int
+
+	inflight map[int]*slotState
+
+	forwarded, fakes uint64
+}
+
+// slotState tracks one dispatched slot: waiting for a port, then
+// executing until done.
+type slotState struct {
+	unit   Unit
+	issued bool
+	done   uint64
+}
+
+// NewPortShaper builds a shaper over a defense rDAG whose Banks dimension
+// is the number of unit classes.
+func NewPortShaper(tpl rdag.Template) (*PortShaper, error) {
+	if tpl.Banks != int(numUnits) {
+		return nil, fmt.Errorf("smt: defense rDAG must span %d unit classes, got %d banks", numUnits, tpl.Banks)
+	}
+	d, err := rdag.NewPatternDriver(tpl)
+	if err != nil {
+		return nil, err
+	}
+	return &PortShaper{driver: d, cap: 8, inflight: make(map[int]*slotState)}, nil
+}
+
+// Enqueue buffers a real µop; false when the buffer is full.
+func (s *PortShaper) Enqueue(op UOp) bool {
+	if len(s.queue) >= s.cap {
+		return false
+	}
+	s.queue = append(s.queue, op)
+	return true
+}
+
+// Full reports whether the µop buffer is at capacity.
+func (s *PortShaper) Full() bool { return len(s.queue) >= s.cap }
+
+// Stats returns forwarded and fake µop counts.
+func (s *PortShaper) Stats() (forwarded, fakes uint64) { return s.forwarded, s.fakes }
+
+// Tick advances the shaper one cycle against the core: dispatched slots
+// claim ports as they free up, completed slots advance the defense rDAG,
+// and newly due slots dispatch a real µop of the prescribed unit if one is
+// buffered, or a fake one otherwise. Real and fake µops occupy ports
+// identically, so the observable port schedule depends only on the rDAG.
+// The returned units are the classes dispatched this cycle.
+func (s *PortShaper) Tick(now uint64, core *Core) []Unit {
+	// Tokens are processed in ascending order for determinism; pattern
+	// drivers use the sequence index as the token, so the space is tiny.
+	for token := 0; token < 64; token++ {
+		st, ok := s.inflight[token]
+		if !ok {
+			continue
+		}
+		if !st.issued {
+			if done, issued := core.tryIssue(st.unit, now); issued {
+				st.issued = true
+				st.done = done
+			}
+			continue
+		}
+		if st.done <= now {
+			delete(s.inflight, token)
+			s.driver.Complete(token, now)
+		}
+	}
+	var out []Unit
+	for _, slot := range s.driver.Poll(now) {
+		unit := Unit(slot.Bank % int(numUnits))
+		matched := false
+		for i := range s.queue {
+			if s.queue[i].Unit == unit {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if matched {
+			s.forwarded++
+		} else {
+			s.fakes++
+		}
+		st := &slotState{unit: unit}
+		if done, issued := core.tryIssue(unit, now); issued {
+			st.issued = true
+			st.done = done
+		}
+		s.inflight[slot.Token] = st
+		out = append(out, unit)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package stats provides the measurement utilities used across the
+// evaluation: aggregate means, histograms of observed latencies, and the
+// mutual-information estimator that quantifies side-channel leakage for
+// the Table 1 security comparison.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of positive values (the aggregate the
+// paper uses for normalized IPC). It returns 0 for an empty slice and
+// panics on non-positive inputs.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %f", v))
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Histogram counts occurrences of binned values.
+type Histogram struct {
+	BinWidth uint64
+	Counts   map[uint64]uint64
+	Total    uint64
+}
+
+// NewHistogram builds a histogram with the given bin width (minimum 1).
+func NewHistogram(binWidth uint64) *Histogram {
+	if binWidth == 0 {
+		binWidth = 1
+	}
+	return &Histogram{BinWidth: binWidth, Counts: make(map[uint64]uint64)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v uint64) {
+	h.Counts[v/h.BinWidth]++
+	h.Total++
+}
+
+// P returns the empirical probability of the bin containing v.
+func (h *Histogram) P(v uint64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[v/h.BinWidth]) / float64(h.Total)
+}
+
+// Bins returns the populated bin indices in ascending order.
+func (h *Histogram) Bins() []uint64 {
+	out := make([]uint64, 0, len(h.Counts))
+	for b := range h.Counts {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BinaryMI estimates the mutual information, in bits, between a uniform
+// binary secret and an observation, from samples of the observation under
+// each secret value. This is the leakage metric of the security
+// comparison: a perfectly protected channel gives 0 bits; 1 bit means the
+// observation fully determines the secret.
+func BinaryMI(obs0, obs1 []uint64, binWidth uint64) float64 {
+	if len(obs0) == 0 || len(obs1) == 0 {
+		return 0
+	}
+	h0 := NewHistogram(binWidth)
+	h1 := NewHistogram(binWidth)
+	for _, v := range obs0 {
+		h0.Add(v)
+	}
+	for _, v := range obs1 {
+		h1.Add(v)
+	}
+	bins := map[uint64]bool{}
+	for b := range h0.Counts {
+		bins[b] = true
+	}
+	for b := range h1.Counts {
+		bins[b] = true
+	}
+	mi := 0.0
+	for b := range bins {
+		p0 := float64(h0.Counts[b]) / float64(h0.Total)
+		p1 := float64(h1.Counts[b]) / float64(h1.Total)
+		pb := (p0 + p1) / 2
+		if p0 > 0 {
+			mi += 0.5 * p0 * math.Log2(p0/pb)
+		}
+		if p1 > 0 {
+			mi += 0.5 * p1 * math.Log2(p1/pb)
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// SequenceMI estimates per-position mutual information between the secret
+// and a *sequence* of observations by averaging BinaryMI across positions.
+// It captures ordering leaks (Figure 2) that aggregate histograms hide.
+func SequenceMI(seq0, seq1 [][]uint64, binWidth uint64) float64 {
+	n := len(seq0)
+	if len(seq1) < n {
+		n = len(seq1)
+	}
+	if n == 0 {
+		return 0
+	}
+	// seq0[i] and seq1[i] are samples of observation position i under
+	// secrets 0 and 1.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += BinaryMI(seq0[i], seq1[i], binWidth)
+	}
+	return total / float64(n)
+}
+
+// Normalize divides each value by the matching baseline value.
+func Normalize(values, baseline []float64) ([]float64, error) {
+	if len(values) != len(baseline) {
+		return nil, fmt.Errorf("stats: normalize length mismatch %d vs %d", len(values), len(baseline))
+	}
+	out := make([]float64, len(values))
+	for i := range values {
+		if baseline[i] == 0 {
+			return nil, fmt.Errorf("stats: zero baseline at index %d", i)
+		}
+		out[i] = values[i] / baseline[i]
+	}
+	return out, nil
+}

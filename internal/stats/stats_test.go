@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %f, want 4", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanAtMostMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		max := 0.0
+		for i, r := range raw {
+			vals[i] = float64(r%1000) + 1
+			if vals[i] > max {
+				max = vals[i]
+			}
+		}
+		g := Geomean(vals)
+		return g <= max+1e-9 && g > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []uint64{5, 9, 15, 100} {
+		h.Add(v)
+	}
+	if h.Total != 4 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.P(7) != 0.5 { // bin 0 holds 5 and 9
+		t.Fatalf("P(7) = %f, want 0.5", h.P(7))
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0] != 0 || bins[2] != 10 {
+		t.Fatalf("bins = %v", bins)
+	}
+	empty := NewHistogram(0)
+	if empty.BinWidth != 1 {
+		t.Fatal("zero bin width not defaulted")
+	}
+	if empty.P(1) != 0 {
+		t.Fatal("empty histogram P != 0")
+	}
+}
+
+func TestBinaryMIPerfectlyDistinguishable(t *testing.T) {
+	obs0 := []uint64{100, 100, 100}
+	obs1 := []uint64{500, 500, 500}
+	if mi := BinaryMI(obs0, obs1, 10); math.Abs(mi-1) > 1e-9 {
+		t.Fatalf("MI = %f, want 1 bit", mi)
+	}
+}
+
+func TestBinaryMIIdenticalDistributions(t *testing.T) {
+	obs := []uint64{1, 2, 3, 4, 5, 6}
+	if mi := BinaryMI(obs, obs, 1); mi != 0 {
+		t.Fatalf("MI = %f, want 0", mi)
+	}
+	if BinaryMI(nil, obs, 1) != 0 {
+		t.Fatal("empty observations should give 0")
+	}
+}
+
+func TestBinaryMIBounds(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		o0 := make([]uint64, len(a))
+		o1 := make([]uint64, len(b))
+		for i, v := range a {
+			o0[i] = uint64(v)
+		}
+		for i, v := range b {
+			o1[i] = uint64(v)
+		}
+		mi := BinaryMI(o0, o1, 4)
+		return mi >= 0 && mi <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceMICatchesOrderingLeak(t *testing.T) {
+	// Two schedules with identical histograms but swapped order: the
+	// aggregate MI is 0 but the per-position MI is 1 (Figure 2).
+	seq0 := [][]uint64{{200}, {400}}
+	seq1 := [][]uint64{{400}, {200}}
+	all0 := append(append([]uint64{}, seq0[0]...), seq0[1]...)
+	all1 := append(append([]uint64{}, seq1[0]...), seq1[1]...)
+	if BinaryMI(all0, all1, 10) != 0 {
+		t.Fatal("aggregate MI should be blind to ordering")
+	}
+	if mi := SequenceMI(seq0, seq1, 10); math.Abs(mi-1) > 1e-9 {
+		t.Fatalf("sequence MI = %f, want 1", mi)
+	}
+	if SequenceMI(nil, nil, 1) != 0 {
+		t.Fatal("empty sequence MI should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 6}, []float64{4, 3})
+	if err != nil || out[0] != 0.5 || out[1] != 2 {
+		t.Fatalf("normalize = %v, %v", out, err)
+	}
+	if _, err := Normalize([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Normalize([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}

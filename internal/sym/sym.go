@@ -1,0 +1,254 @@
+// Package sym implements a hash-consed boolean circuit builder in the
+// style of an and-inverter graph (AIG): every expression reduces to AND
+// nodes and complemented edges, with structural hashing and constant
+// folding. Circuits are evaluated concretely (for simulation-based
+// testing) or converted to CNF via the Tseitin transformation and handed
+// to the CDCL solver in internal/sat. Together they replace the
+// Rosette/SMT stack the paper used for its security verification (§5).
+package sym
+
+import "fmt"
+
+// Expr is a reference to a circuit node with a complement bit in bit 0.
+// Expr 0 is the constant false, Expr 1 the constant true.
+type Expr uint32
+
+// False and True are the constant expressions.
+const (
+	False Expr = 0
+	True  Expr = 1
+)
+
+func (e Expr) node() uint32     { return uint32(e) >> 1 }
+func (e Expr) complement() bool { return e&1 == 1 }
+
+// Not complements an expression (free in an AIG).
+func (e Expr) Not() Expr { return e ^ 1 }
+
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindVar
+	kindAnd
+)
+
+type node struct {
+	kind nodeKind
+	a, b Expr // children for AND nodes
+	v    int  // variable index for var nodes
+}
+
+// Builder owns a circuit arena.
+type Builder struct {
+	nodes []node
+	cache map[[2]Expr]Expr
+	nvars int
+}
+
+// NewBuilder creates an empty circuit.
+func NewBuilder() *Builder {
+	b := &Builder{cache: make(map[[2]Expr]Expr)}
+	b.nodes = append(b.nodes, node{kind: kindConst}) // node 0 = false
+	return b
+}
+
+// NumVars returns the number of variables created so far.
+func (b *Builder) NumVars() int { return b.nvars }
+
+// NumNodes returns the arena size (a complexity measure).
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Var creates a fresh boolean variable.
+func (b *Builder) Var() Expr {
+	b.nvars++
+	b.nodes = append(b.nodes, node{kind: kindVar, v: b.nvars})
+	return Expr(uint32(len(b.nodes)-1) << 1)
+}
+
+// Const returns the constant expression for v.
+func (b *Builder) Const(v bool) Expr {
+	if v {
+		return True
+	}
+	return False
+}
+
+// And builds the conjunction with folding and structural hashing.
+func (b *Builder) And(x, y Expr) Expr {
+	// Constant folding and trivial cases.
+	switch {
+	case x == False || y == False:
+		return False
+	case x == True:
+		return y
+	case y == True:
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return False
+	}
+	// Canonical order for hashing.
+	if x > y {
+		x, y = y, x
+	}
+	key := [2]Expr{x, y}
+	if e, ok := b.cache[key]; ok {
+		return e
+	}
+	b.nodes = append(b.nodes, node{kind: kindAnd, a: x, b: y})
+	e := Expr(uint32(len(b.nodes)-1) << 1)
+	b.cache[key] = e
+	return e
+}
+
+// Or builds the disjunction.
+func (b *Builder) Or(x, y Expr) Expr {
+	return b.And(x.Not(), y.Not()).Not()
+}
+
+// Xor builds exclusive or.
+func (b *Builder) Xor(x, y Expr) Expr {
+	return b.Or(b.And(x, y.Not()), b.And(x.Not(), y))
+}
+
+// Eq builds x == y (XNOR).
+func (b *Builder) Eq(x, y Expr) Expr { return b.Xor(x, y).Not() }
+
+// Implies builds x -> y.
+func (b *Builder) Implies(x, y Expr) Expr { return b.Or(x.Not(), y) }
+
+// Ite builds if-then-else: c ? t : e.
+func (b *Builder) Ite(c, t, e Expr) Expr {
+	return b.Or(b.And(c, t), b.And(c.Not(), e))
+}
+
+// AndAll folds And over the list (True for empty).
+func (b *Builder) AndAll(xs ...Expr) Expr {
+	acc := True
+	for _, x := range xs {
+		acc = b.And(acc, x)
+	}
+	return acc
+}
+
+// OrAll folds Or over the list (False for empty).
+func (b *Builder) OrAll(xs ...Expr) Expr {
+	acc := False
+	for _, x := range xs {
+		acc = b.Or(acc, x)
+	}
+	return acc
+}
+
+// Eval computes the concrete value of e under the assignment (indexed by
+// variable number, as returned in order of Var creation: variable i is
+// assignment[i-1]).
+func (b *Builder) Eval(e Expr, assignment []bool) bool {
+	memo := make(map[uint32]bool)
+	var rec func(Expr) bool
+	rec = func(x Expr) bool {
+		n := x.node()
+		val, ok := memo[n]
+		if !ok {
+			nd := &b.nodes[n]
+			switch nd.kind {
+			case kindConst:
+				val = false
+			case kindVar:
+				if nd.v-1 >= len(assignment) {
+					panic(fmt.Sprintf("sym: assignment too short for var %d", nd.v))
+				}
+				val = assignment[nd.v-1]
+			case kindAnd:
+				val = rec(nd.a) && rec(nd.b)
+			}
+			memo[n] = val
+		}
+		if x.complement() {
+			return !val
+		}
+		return val
+	}
+	return rec(e)
+}
+
+// CNFResult is the output of the Tseitin transformation.
+type CNFResult struct {
+	// Clauses in DIMACS convention: positive/negative non-zero ints.
+	Clauses [][]int
+	// NumVars is the total SAT variable count.
+	NumVars int
+	// Lit maps an Expr (previously passed to Lit) to its literal.
+	lits    map[Expr]int
+	nodeVar map[uint32]int
+}
+
+// CNF converts the circuit reachable from the roots into CNF. Each root's
+// literal can be retrieved with Lit; callers typically assert a root by
+// adding a unit clause of its literal.
+func (b *Builder) CNF(roots ...Expr) *CNFResult {
+	res := &CNFResult{lits: make(map[Expr]int), nodeVar: make(map[uint32]int)}
+	nodeVar := res.nodeVar
+	// Node 0 (constant false) gets a dedicated variable forced false.
+	next := 0
+	newVar := func() int { next++; return next }
+
+	var visit func(Expr) int // returns the SAT literal for the expr
+	visit = func(e Expr) int {
+		n := e.node()
+		v, ok := nodeVar[n]
+		if !ok {
+			nd := &b.nodes[n]
+			switch nd.kind {
+			case kindConst:
+				v = newVar()
+				res.Clauses = append(res.Clauses, []int{-v}) // false
+			case kindVar:
+				v = newVar()
+			case kindAnd:
+				la := visit(nd.a)
+				lb := visit(nd.b)
+				v = newVar()
+				// v <-> la & lb
+				res.Clauses = append(res.Clauses,
+					[]int{-v, la},
+					[]int{-v, lb},
+					[]int{-la, -lb, v})
+			}
+			nodeVar[n] = v
+		}
+		if e.complement() {
+			return -v
+		}
+		return v
+	}
+	for _, r := range roots {
+		res.lits[r] = visit(r)
+	}
+	res.NumVars = next
+	return res
+}
+
+// Lit returns the DIMACS literal of a root passed to CNF.
+func (r *CNFResult) Lit(e Expr) int {
+	l, ok := r.lits[e]
+	if !ok {
+		panic("sym: expression was not a CNF root")
+	}
+	return l
+}
+
+// LitOf returns the literal of any expression whose node appeared in the
+// CNF cone (e.g. an input variable), for counterexample extraction.
+func (r *CNFResult) LitOf(e Expr) (int, bool) {
+	v, ok := r.nodeVar[e.node()]
+	if !ok {
+		return 0, false
+	}
+	if e.complement() {
+		return -v, true
+	}
+	return v, true
+}

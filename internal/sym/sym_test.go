@@ -1,0 +1,239 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagguise/internal/sat"
+)
+
+func TestConstantsAndNot(t *testing.T) {
+	b := NewBuilder()
+	if True.Not() != False || False.Not() != True {
+		t.Fatal("constant complement broken")
+	}
+	x := b.Var()
+	if x.Not().Not() != x {
+		t.Fatal("double negation not identity")
+	}
+}
+
+func TestAndFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var()
+	if b.And(x, False) != False || b.And(False, x) != False {
+		t.Fatal("and-false")
+	}
+	if b.And(x, True) != x || b.And(True, x) != x {
+		t.Fatal("and-true")
+	}
+	if b.And(x, x) != x {
+		t.Fatal("idempotence")
+	}
+	if b.And(x, x.Not()) != False {
+		t.Fatal("contradiction")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var(), b.Var()
+	a1 := b.And(x, y)
+	a2 := b.And(y, x)
+	if a1 != a2 {
+		t.Fatal("commutative pair not hash-consed")
+	}
+	n := b.NumNodes()
+	b.And(x, y)
+	if b.NumNodes() != n {
+		t.Fatal("duplicate AND allocated a node")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var(), b.Var(), b.Var()
+	cases := []struct {
+		name string
+		e    Expr
+		fn   func(a, bb, c bool) bool
+	}{
+		{"and", b.And(x, y), func(a, bb, _ bool) bool { return a && bb }},
+		{"or", b.Or(x, y), func(a, bb, _ bool) bool { return a || bb }},
+		{"xor", b.Xor(x, y), func(a, bb, _ bool) bool { return a != bb }},
+		{"eq", b.Eq(x, y), func(a, bb, _ bool) bool { return a == bb }},
+		{"implies", b.Implies(x, y), func(a, bb, _ bool) bool { return !a || bb }},
+		{"ite", b.Ite(x, y, z), func(a, bb, c bool) bool {
+			if a {
+				return bb
+			}
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		for m := 0; m < 8; m++ {
+			assign := []bool{m&1 == 1, m&2 == 2, m&4 == 4}
+			want := tc.fn(assign[0], assign[1], assign[2])
+			if got := b.Eval(tc.e, assign); got != want {
+				t.Fatalf("%s(%v) = %v, want %v", tc.name, assign, got, want)
+			}
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	b := NewBuilder()
+	for _, v := range []uint64{0, 1, 5, 7} {
+		x := b.VecConst(3, v)
+		// Increment.
+		inc := b.VecInc(x)
+		if got := b.VecEval(inc, nil); got != (v+1)&7 {
+			t.Fatalf("inc(%d) = %d", v, got)
+		}
+		// Saturating decrement.
+		dec := b.VecDec(x)
+		want := uint64(0)
+		if v > 0 {
+			want = v - 1
+		}
+		if got := b.VecEval(dec, nil); got != want {
+			t.Fatalf("dec(%d) = %d, want %d", v, got, want)
+		}
+		// Zero test.
+		if b.Eval(b.VecIsZero(x), nil) != (v == 0) {
+			t.Fatalf("iszero(%d) wrong", v)
+		}
+		// Comparisons.
+		for c := uint64(0); c < 8; c++ {
+			if b.Eval(b.VecEqConst(x, c), nil) != (v == c) {
+				t.Fatalf("eqconst(%d,%d)", v, c)
+			}
+			if b.Eval(b.VecLeConst(x, c), nil) != (v <= c) {
+				t.Fatalf("leconst(%d,%d)", v, c)
+			}
+		}
+	}
+}
+
+func TestVecIteAndEq(t *testing.T) {
+	b := NewBuilder()
+	x := b.VecConst(4, 9)
+	y := b.VecConst(4, 4)
+	if b.VecEval(b.VecIte(True, x, y), nil) != 9 {
+		t.Fatal("ite true")
+	}
+	if b.VecEval(b.VecIte(False, x, y), nil) != 4 {
+		t.Fatal("ite false")
+	}
+	if b.Eval(b.VecEq(x, x), nil) != true || b.Eval(b.VecEq(x, y), nil) != false {
+		t.Fatal("vec eq")
+	}
+}
+
+func TestVecWidthMismatchPanics(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.VecEq(b.VecConst(2, 0), b.VecConst(3, 0))
+}
+
+// TestCNFAgainstEval cross-checks Tseitin+SAT against direct evaluation on
+// random circuits: the circuit is satisfiable iff some assignment
+// evaluates to true, and SAT models must evaluate to true.
+func TestCNFAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		b := NewBuilder()
+		const nv = 6
+		vars := make([]Expr, nv)
+		for i := range vars {
+			vars[i] = b.Var()
+		}
+		// Build a random expression tree.
+		pool := append([]Expr{}, vars...)
+		for i := 0; i < 12; i++ {
+			x := pool[rng.Intn(len(pool))]
+			y := pool[rng.Intn(len(pool))]
+			var e Expr
+			switch rng.Intn(4) {
+			case 0:
+				e = b.And(x, y)
+			case 1:
+				e = b.Or(x, y)
+			case 2:
+				e = b.Xor(x, y)
+			default:
+				e = x.Not()
+			}
+			pool = append(pool, e)
+		}
+		root := pool[len(pool)-1]
+
+		// Brute-force satisfiability by evaluation.
+		want := false
+		for m := 0; m < 1<<nv; m++ {
+			assign := make([]bool, nv)
+			for i := range assign {
+				assign[i] = m>>uint(i)&1 == 1
+			}
+			if b.Eval(root, assign) {
+				want = true
+				break
+			}
+		}
+
+		cnf := b.CNF(root)
+		s := sat.New()
+		s.EnsureVars(cnf.NumVars)
+		ok := true
+		for _, cl := range cnf.Clauses {
+			if !s.AddClause(cl...) {
+				ok = false
+			}
+		}
+		var got bool
+		if ok {
+			got = s.Solve(cnf.Lit(root)) == sat.Sat
+		}
+		if got != want {
+			t.Fatalf("iter %d: sat=%v eval=%v", iter, got, want)
+		}
+		if got {
+			// The model must evaluate the root to true.
+			assign := make([]bool, nv)
+			for i, v := range vars {
+				if l, found := cnf.LitOf(v); found {
+					assign[i] = s.Value(abs(l))
+					if l < 0 {
+						assign[i] = !assign[i]
+					}
+				}
+			}
+			if !b.Eval(root, assign) {
+				t.Fatalf("iter %d: SAT model does not satisfy circuit", iter)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCNFLitPanicsOnNonRoot(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var()
+	cnf := b.CNF(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cnf.Lit(b.Var())
+}

@@ -1,0 +1,107 @@
+package sym
+
+import "fmt"
+
+// Vec is a little-endian bit vector (Vec[0] is the least significant bit).
+type Vec []Expr
+
+// VecVar creates a vector of fresh variables.
+func (b *Builder) VecVar(width int) Vec {
+	v := make(Vec, width)
+	for i := range v {
+		v[i] = b.Var()
+	}
+	return v
+}
+
+// VecConst builds a constant vector of the given width.
+func (b *Builder) VecConst(width int, value uint64) Vec {
+	v := make(Vec, width)
+	for i := range v {
+		v[i] = b.Const(value>>uint(i)&1 == 1)
+	}
+	return v
+}
+
+// VecEq builds equality of two vectors (must be the same width).
+func (b *Builder) VecEq(x, y Vec) Expr {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sym: vector width mismatch %d vs %d", len(x), len(y)))
+	}
+	acc := True
+	for i := range x {
+		acc = b.And(acc, b.Eq(x[i], y[i]))
+	}
+	return acc
+}
+
+// VecIte selects between two vectors bitwise.
+func (b *Builder) VecIte(c Expr, t, e Vec) Vec {
+	if len(t) != len(e) {
+		panic(fmt.Sprintf("sym: vector width mismatch %d vs %d", len(t), len(e)))
+	}
+	out := make(Vec, len(t))
+	for i := range t {
+		out[i] = b.Ite(c, t[i], e[i])
+	}
+	return out
+}
+
+// VecIsZero tests whether all bits are clear.
+func (b *Builder) VecIsZero(x Vec) Expr {
+	return b.OrAll(x...).Not()
+}
+
+// VecDec builds x-1 with saturation at zero: if x is zero the result is
+// zero. Used for countdown timers.
+func (b *Builder) VecDec(x Vec) Vec {
+	out := make(Vec, len(x))
+	borrow := True // subtracting 1: initial borrow in
+	for i := range x {
+		out[i] = b.Xor(x[i], borrow)
+		borrow = b.And(borrow, x[i].Not())
+	}
+	// Saturate: if x was zero, keep zero.
+	zero := b.VecIsZero(x)
+	return b.VecIte(zero, b.VecConst(len(x), 0), out)
+}
+
+// VecInc builds x+1 with wraparound.
+func (b *Builder) VecInc(x Vec) Vec {
+	out := make(Vec, len(x))
+	carry := True
+	for i := range x {
+		out[i] = b.Xor(x[i], carry)
+		carry = b.And(carry, x[i])
+	}
+	return out
+}
+
+// VecEqConst compares a vector to a constant.
+func (b *Builder) VecEqConst(x Vec, value uint64) Expr {
+	return b.VecEq(x, b.VecConst(len(x), value))
+}
+
+// VecLeConst builds x <= value (unsigned).
+func (b *Builder) VecLeConst(x Vec, value uint64) Expr {
+	// x <= c  <=>  NOT (x > c); compare from MSB down.
+	gt := False
+	eq := True
+	for i := len(x) - 1; i >= 0; i-- {
+		cBit := b.Const(value>>uint(i)&1 == 1)
+		gt = b.Or(gt, b.AndAll(eq, x[i], cBit.Not()))
+		eq = b.And(eq, b.Eq(x[i], cBit))
+	}
+	return gt.Not()
+}
+
+// VecEval evaluates a vector to a concrete integer under an assignment.
+func (b *Builder) VecEval(x Vec, assignment []bool) uint64 {
+	var out uint64
+	for i := range x {
+		if b.Eval(x[i], assignment) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}

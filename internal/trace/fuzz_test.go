@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks the binary trace reader never panics on arbitrary input
+// and that anything it accepts round-trips through Write.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	Write(&seed, &Slice{Ops: []Op{{Addr: 64, Gap: 3}, {Addr: 0, Gap: 1, Dep: 1}}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("dagtrc01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, s); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if len(back.Ops) != len(s.Ops) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back.Ops), len(s.Ops))
+		}
+	})
+}

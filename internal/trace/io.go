@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dagguise/internal/mem"
+)
+
+// The binary trace format: a magic header, a varint op count, then per op
+// a flags byte (kind, dep-present), a varint gap, a varint address delta
+// (zig-zag from the previous address, since traces are locality-heavy) and
+// an optional varint dependency distance. Typical victim traces compress
+// to a few bytes per op.
+
+var traceMagic = [8]byte{'d', 'a', 'g', 't', 'r', 'c', '0', '1'}
+
+const (
+	flagWrite = 1 << 0
+	flagDep   = 1 << 1
+)
+
+// Write serialises the trace to w.
+func Write(w io.Writer, s *Slice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.Ops))); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, op := range s.Ops {
+		flags := byte(0)
+		if op.Kind == mem.Write {
+			flags |= flagWrite
+		}
+		if op.Dep > 0 {
+			flags |= flagDep
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(op.Gap)); err != nil {
+			return err
+		}
+		delta := int64(op.Addr) - int64(prev)
+		n := binary.PutUvarint(buf[:], zigzag(delta))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = op.Addr
+		if op.Dep > 0 {
+			if err := putUvarint(uint64(op.Dep)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Slice, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxOps = 1 << 28
+	if count > maxOps {
+		return nil, fmt.Errorf("trace: op count %d exceeds limit", count)
+	}
+	ops := make([]Op, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d flags: %w", i, err)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d gap: %w", i, err)
+		}
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d addr: %w", i, err)
+		}
+		addr := uint64(int64(prev) + unzigzag(zz))
+		prev = addr
+		op := Op{Addr: addr, Gap: int(gap)}
+		if flags&flagWrite != 0 {
+			op.Kind = mem.Write
+		}
+		if flags&flagDep != 0 {
+			dep, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: op %d dep: %w", i, err)
+			}
+			op.Dep = int(dep)
+		}
+		ops = append(ops, op)
+	}
+	return &Slice{Ops: ops}, nil
+}
+
+func zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// Stats summarises a trace for inspection tools.
+type Stats struct {
+	Ops           int
+	Reads         int
+	Writes        int
+	Dependent     int
+	Instructions  uint64 // gaps + one per op
+	DistinctLines int
+}
+
+// Summarize computes trace statistics.
+func Summarize(s *Slice) Stats {
+	st := Stats{Ops: len(s.Ops)}
+	lines := make(map[uint64]struct{})
+	for _, op := range s.Ops {
+		if op.Kind == mem.Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		if op.Dep > 0 {
+			st.Dependent++
+		}
+		st.Instructions += uint64(op.Gap) + 1
+		lines[op.Addr>>6] = struct{}{}
+	}
+	st.DistinctLines = len(lines)
+	return st
+}

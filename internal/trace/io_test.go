@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dagguise/internal/mem"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := &Slice{Ops: []Op{
+		{Addr: 0x1000, Kind: mem.Read, Gap: 5},
+		{Addr: 0x40, Kind: mem.Write, Gap: 0},
+		{Addr: 0xdeadbeef00, Kind: mem.Read, Gap: 1000, Dep: 3},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(s.Ops) {
+		t.Fatalf("ops = %d, want %d", len(back.Ops), len(s.Ops))
+	}
+	for i := range s.Ops {
+		if back.Ops[i] != s.Ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, back.Ops[i], s.Ops[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint8, kinds []bool) bool {
+		var ops []Op
+		for i, a := range addrs {
+			op := Op{Addr: uint64(a) * 64}
+			if i < len(gaps) {
+				op.Gap = int(gaps[i])
+			}
+			if i < len(kinds) && kinds[i] {
+				op.Kind = mem.Write
+			}
+			if i%5 == 4 {
+				op.Dep = 1
+			}
+			ops = append(ops, op)
+		}
+		s := &Slice{Ops: ops}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Ops) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if back.Ops[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid magic but truncated body.
+	var buf bytes.Buffer
+	Write(&buf, &Slice{Ops: []Op{{Addr: 64}, {Addr: 128}}})
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := &Slice{Ops: []Op{
+		{Addr: 0, Gap: 9},
+		{Addr: 64, Kind: mem.Write, Gap: 0},
+		{Addr: 0, Gap: 1, Dep: 1},
+	}}
+	st := Summarize(s)
+	if st.Ops != 3 || st.Reads != 2 || st.Writes != 1 || st.Dependent != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Instructions != 13 {
+		t.Fatalf("instructions = %d, want 13", st.Instructions)
+	}
+	if st.DistinctLines != 2 {
+		t.Fatalf("distinct lines = %d, want 2", st.DistinctLines)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Sequential traces should encode compactly (few bytes per op).
+	ops := make([]Op, 10000)
+	for i := range ops {
+		ops[i] = Op{Addr: uint64(i) * 64, Gap: 10}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, &Slice{Ops: ops}); err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(buf.Len()) / float64(len(ops))
+	if perOp > 6 {
+		t.Fatalf("%.1f bytes/op; sequential traces should compress below 6", perOp)
+	}
+}

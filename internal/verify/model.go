@@ -1,0 +1,444 @@
+// Package verify implements the paper's formal security verification (§5)
+// on top of our own circuit builder and CDCL SAT solver: a bit-level model
+// of the simplified DAGguise system — a request shaper executing a strict
+// chain defense rDAG in front of an FCFS memory controller with constant
+// service latency — and a k-induction proof that the receiver's response
+// trace is independent of the transmitter's request trace.
+package verify
+
+import (
+	"fmt"
+
+	"dagguise/internal/sym"
+)
+
+// ModelConfig parameterises the verified system, mirroring the Rosette
+// artifact's configuration.
+type ModelConfig struct {
+	// Banks is 1 or 2; with 2 banks the defense rDAG alternates banks and
+	// responses carry a bank bit.
+	Banks int
+	// Sequences is 1 (a single strictly-dependent chain, the paper's
+	// verified configuration) or 2 (two parallel chains — the template
+	// structure of Figure 6, extending the verified rDAG family). With 2
+	// sequences and 2 banks, sequence i is pinned to bank i.
+	Sequences int
+	// Weight is the defense rDAG edge weight in cycles.
+	Weight int
+	// MemLatency is the constant FCFS service latency in cycles.
+	MemLatency int
+	// QueueDepth is the controller transaction queue depth.
+	QueueDepth int
+	// PendingMax saturates the shaper's private pending counters.
+	PendingMax int
+	// Leaky deliberately breaks the shaper (it emits immediately when a
+	// real request is pending, ignoring the rDAG schedule) so tests can
+	// confirm the checker finds counterexamples.
+	Leaky bool
+	// LeakyBank is a second bug class: the shaper keeps the rDAG's
+	// timing but emits to the bank of a pending real request instead of
+	// the prescribed bank, leaking the victim's bank pattern.
+	LeakyBank bool
+}
+
+// DefaultModel returns the configuration used by the bundled proof: two
+// banks, a single weight-2 chain, latency 2, a two-entry transaction queue.
+func DefaultModel() ModelConfig {
+	return ModelConfig{Banks: 2, Sequences: 1, Weight: 2, MemLatency: 2, QueueDepth: 2, PendingMax: 3}
+}
+
+// Validate checks the configuration.
+func (c ModelConfig) Validate() error {
+	if c.Banks != 1 && c.Banks != 2 {
+		return fmt.Errorf("verify: banks must be 1 or 2, got %d", c.Banks)
+	}
+	if c.Sequences < 0 || c.Sequences > 2 {
+		return fmt.Errorf("verify: sequences must be 1 or 2, got %d", c.Sequences)
+	}
+	if c.Sequences == 2 && c.Banks != 2 {
+		return fmt.Errorf("verify: two sequences require two banks")
+	}
+	if c.Weight < 1 || c.MemLatency < 1 || c.QueueDepth < 1 || c.PendingMax < 1 {
+		return fmt.Errorf("verify: weight, latency, queue depth and pending max must be positive")
+	}
+	return nil
+}
+
+// sequences returns the effective sequence count (zero-value selects 1).
+func (c ModelConfig) sequences() int {
+	if c.Sequences == 0 {
+		return 1
+	}
+	return c.Sequences
+}
+
+func bitsFor(maxVal int) int {
+	bits := 1
+	for 1<<uint(bits) <= maxVal {
+		bits++
+	}
+	return bits
+}
+
+// State is the symbolic machine state at the start of a cycle.
+type State struct {
+	// Shaper state, one entry per defense-rDAG sequence.
+	Waiting   []sym.Expr // an emitted request is outstanding
+	Countdown []sym.Vec  // cycles until the next emission (when not waiting)
+	Step      sym.Expr   // bank parity of the next emission (1-seq, 2-bank mode)
+	Pending   []sym.Vec  // private-queue occupancy per bank
+
+	// Controller queue (entry 0 is the head): per-entry valid, domain
+	// (false = Tx, true = Rx), bank, and the emitting sequence for Tx
+	// entries.
+	QValid []sym.Expr
+	QDom   []sym.Expr
+	QBank  []sym.Expr
+	QSeq   []sym.Expr
+
+	// Service unit.
+	Busy      sym.Expr
+	Remaining sym.Vec
+	ServDom   sym.Expr
+	ServBank  sym.Expr
+	ServSeq   sym.Expr
+}
+
+// Input is one cycle's request inputs.
+type Input struct {
+	TxValid, TxBank sym.Expr
+	RxValid, RxBank sym.Expr
+}
+
+// Output is one cycle's receiver-visible response.
+type Output struct {
+	RespValid, RespBank sym.Expr
+}
+
+// Model builds symbolic transitions over a shared Builder.
+type Model struct {
+	cfg ModelConfig
+	b   *sym.Builder
+
+	cdBits, remBits, pendBits int
+}
+
+// NewModel validates the configuration and wraps the builder.
+func NewModel(cfg ModelConfig, b *sym.Builder) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:      cfg,
+		b:        b,
+		cdBits:   bitsFor(cfg.Weight),
+		remBits:  bitsFor(cfg.MemLatency),
+		pendBits: bitsFor(cfg.PendingMax),
+	}, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() ModelConfig { return m.cfg }
+
+// ResetState is the post-reset state: idle shaper due to emit immediately,
+// empty queue, idle service unit.
+func (m *Model) ResetState() State {
+	b := m.b
+	s := State{
+		Step:      sym.False,
+		Busy:      sym.False,
+		Remaining: b.VecConst(m.remBits, 0),
+		ServDom:   sym.False,
+		ServBank:  sym.False,
+		ServSeq:   sym.False,
+	}
+	for q := 0; q < m.cfg.sequences(); q++ {
+		s.Waiting = append(s.Waiting, sym.False)
+		s.Countdown = append(s.Countdown, b.VecConst(m.cdBits, 0))
+	}
+	for i := 0; i < m.cfg.Banks; i++ {
+		s.Pending = append(s.Pending, b.VecConst(m.pendBits, 0))
+	}
+	for i := 0; i < m.cfg.QueueDepth; i++ {
+		s.QValid = append(s.QValid, sym.False)
+		s.QDom = append(s.QDom, sym.False)
+		s.QBank = append(s.QBank, sym.False)
+		s.QSeq = append(s.QSeq, sym.False)
+	}
+	return s
+}
+
+// FreeState allocates a fully symbolic state (for the induction step).
+func (m *Model) FreeState() State {
+	b := m.b
+	s := State{
+		Step:      b.Var(),
+		Busy:      b.Var(),
+		Remaining: b.VecVar(m.remBits),
+		ServDom:   b.Var(),
+		ServBank:  b.Var(),
+		ServSeq:   b.Var(),
+	}
+	for q := 0; q < m.cfg.sequences(); q++ {
+		s.Waiting = append(s.Waiting, b.Var())
+		s.Countdown = append(s.Countdown, b.VecVar(m.cdBits))
+	}
+	for i := 0; i < m.cfg.Banks; i++ {
+		s.Pending = append(s.Pending, b.VecVar(m.pendBits))
+	}
+	for i := 0; i < m.cfg.QueueDepth; i++ {
+		s.QValid = append(s.QValid, b.Var())
+		s.QDom = append(s.QDom, b.Var())
+		s.QBank = append(s.QBank, b.Var())
+		s.QSeq = append(s.QSeq, b.Var())
+	}
+	return s
+}
+
+// FreeInput allocates one cycle's symbolic inputs.
+func (m *Model) FreeInput() Input {
+	b := m.b
+	in := Input{TxValid: b.Var(), RxValid: b.Var(), TxBank: sym.False, RxBank: sym.False}
+	if m.cfg.Banks == 2 {
+		in.TxBank = b.Var()
+		in.RxBank = b.Var()
+	}
+	return in
+}
+
+// WellFormed states the structural invariants any reachable state
+// satisfies: counters within range and queue validity contiguous (no
+// holes). The induction step assumes it of the arbitrary start states.
+func (m *Model) WellFormed(s State) sym.Expr {
+	b := m.b
+	wf := b.VecLeConst(s.Remaining, uint64(m.cfg.MemLatency))
+	// busy <-> remaining >= 1
+	wf = b.And(wf, b.Eq(s.Busy, b.VecIsZero(s.Remaining).Not()))
+	for i := 0; i < m.cfg.Banks; i++ {
+		wf = b.And(wf, b.VecLeConst(s.Pending[i], uint64(m.cfg.PendingMax)))
+	}
+	for i := 1; i < m.cfg.QueueDepth; i++ {
+		wf = b.And(wf, b.Implies(s.QValid[i], s.QValid[i-1]))
+	}
+	// Per sequence: counters in range, and when the sequence is not
+	// waiting for a response, none of its requests is queued or being
+	// served (each chain has at most one request in flight).
+	for q := 0; q < m.cfg.sequences(); q++ {
+		wf = b.And(wf, b.VecLeConst(s.Countdown[q], uint64(m.cfg.Weight)))
+		notWaiting := s.Waiting[q].Not()
+		seqIsQ := func(e sym.Expr) sym.Expr {
+			if m.cfg.sequences() == 1 {
+				return sym.True
+			}
+			if q == 0 {
+				return e.Not()
+			}
+			return e
+		}
+		txServed := b.AndAll(s.Busy, s.ServDom.Not(), seqIsQ(s.ServSeq))
+		wf = b.And(wf, b.Implies(notWaiting, txServed.Not()))
+		for i := 0; i < m.cfg.QueueDepth; i++ {
+			txQueued := b.AndAll(s.QValid[i], s.QDom[i].Not(), seqIsQ(s.QSeq[i]))
+			wf = b.And(wf, b.Implies(notWaiting, txQueued.Not()))
+		}
+	}
+	return wf
+}
+
+// pendingSelect returns the pending counter for a symbolic bank bit.
+func (m *Model) pendingSelect(pend []sym.Vec, bank sym.Expr) sym.Vec {
+	if m.cfg.Banks == 1 {
+		return pend[0]
+	}
+	return m.b.VecIte(bank, pend[1], pend[0])
+}
+
+// Step builds one cycle of the system: shaper private-queue update,
+// defense-rDAG emissions (one per due sequence, in sequence order),
+// controller enqueue (shaper first, then receiver), FCFS service and
+// response delivery.
+func (m *Model) Step(s State, in Input) (State, Output) {
+	b := m.b
+	nseq := m.cfg.sequences()
+	next := State{}
+
+	// --- 1. Transmitter request enters the private queue (saturating).
+	pend := make([]sym.Vec, m.cfg.Banks)
+	for i := 0; i < m.cfg.Banks; i++ {
+		hit := in.TxValid
+		if m.cfg.Banks == 2 {
+			bankIsI := in.TxBank
+			if i == 0 {
+				bankIsI = in.TxBank.Not()
+			}
+			hit = b.And(in.TxValid, bankIsI)
+		}
+		atMax := b.VecEqConst(s.Pending[i], uint64(m.cfg.PendingMax))
+		pend[i] = b.VecIte(b.And(hit, atMax.Not()), b.VecInc(s.Pending[i]), s.Pending[i])
+	}
+
+	// --- 2. Service completion (computed before popping so a freshly
+	// popped request is never served in the same cycle).
+	remDec := b.VecDec(s.Remaining)
+	completing := b.And(s.Busy, b.VecEqConst(s.Remaining, 1))
+	respTx := b.And(completing, s.ServDom.Not())
+	respRx := b.And(completing, s.ServDom)
+	out := Output{RespValid: respRx, RespBank: b.And(respRx, s.ServBank)}
+
+	busyAfter := b.And(s.Busy, completing.Not())
+	remAfter := b.VecIte(completing, b.VecConst(m.remBits, 0), remDec)
+	remAfter = b.VecIte(s.Busy, remAfter, s.Remaining)
+
+	// --- 3. Per-sequence emission decisions (sequence order fixed).
+	anyPending := sym.False
+	for i := 0; i < m.cfg.Banks; i++ {
+		anyPending = b.Or(anyPending, b.VecIsZero(pend[i]).Not())
+	}
+	dues := make([]sym.Expr, nseq)
+	emitBanks := make([]sym.Expr, nseq)
+	for q := 0; q < nseq; q++ {
+		cdZero := b.VecIsZero(s.Countdown[q])
+		due := b.And(s.Waiting[q].Not(), cdZero)
+		if m.cfg.Leaky {
+			// Broken shaper: a pending real request is emitted
+			// immediately, ignoring the schedule.
+			due = b.Or(due, b.And(s.Waiting[q].Not(), anyPending))
+		}
+		dues[q] = due
+		switch {
+		case m.cfg.Banks == 1:
+			emitBanks[q] = sym.False
+		case nseq == 2:
+			// Sequence q is pinned to bank q.
+			emitBanks[q] = b.Const(q == 1)
+		default:
+			emitBanks[q] = s.Step
+		}
+		if m.cfg.LeakyBank && m.cfg.Banks == 2 {
+			// Broken shaper: follow the pending request's bank instead
+			// of the prescription (bank 0 if it has pending work, else
+			// bank 1) — the victim's bank pattern becomes observable.
+			pendingBank := b.VecIsZero(pend[0])
+			emitBanks[q] = b.Ite(anyPending, pendingBank, emitBanks[q])
+		}
+		// Consume a matching pending request when one exists; whether
+		// the emission is real or fake is invisible downstream.
+		emitPend := m.pendingSelect(pend, emitBanks[q])
+		isReal := b.And(due, b.VecIsZero(emitPend).Not())
+		for i := 0; i < m.cfg.Banks; i++ {
+			sel := sym.True
+			if m.cfg.Banks == 2 {
+				sel = emitBanks[q]
+				if i == 0 {
+					sel = emitBanks[q].Not()
+				}
+			}
+			dec := b.And(isReal, sel)
+			pend[i] = b.VecIte(dec, b.VecDec(pend[i]), pend[i])
+		}
+	}
+
+	// --- 4. Countdown advance (only while not waiting and not yet due).
+	cdAfter := make([]sym.Vec, nseq)
+	for q := 0; q < nseq; q++ {
+		cdDec := b.VecDec(s.Countdown[q])
+		cdAfter[q] = b.VecIte(b.And(s.Waiting[q].Not(), dues[q].Not()), cdDec, s.Countdown[q])
+	}
+
+	// --- 5. FCFS pop into the service unit.
+	canPop := b.And(busyAfter.Not(), s.QValid[0])
+	busyAfter2 := b.Or(busyAfter, canPop)
+	remAfter2 := b.VecIte(canPop, b.VecConst(m.remBits, uint64(m.cfg.MemLatency)), remAfter)
+	servDom := b.Ite(canPop, s.QDom[0], s.ServDom)
+	servBank := b.Ite(canPop, s.QBank[0], s.ServBank)
+	servSeq := b.Ite(canPop, s.QSeq[0], s.ServSeq)
+
+	// Shifted queue after the pop.
+	qValid := make([]sym.Expr, m.cfg.QueueDepth)
+	qDom := make([]sym.Expr, m.cfg.QueueDepth)
+	qBank := make([]sym.Expr, m.cfg.QueueDepth)
+	qSeq := make([]sym.Expr, m.cfg.QueueDepth)
+	for i := 0; i < m.cfg.QueueDepth; i++ {
+		var nv, nd, nb, ns sym.Expr
+		if i+1 < m.cfg.QueueDepth {
+			nv, nd, nb, ns = s.QValid[i+1], s.QDom[i+1], s.QBank[i+1], s.QSeq[i+1]
+		} else {
+			nv, nd, nb, ns = sym.False, sym.False, sym.False, sym.False
+		}
+		qValid[i] = b.Ite(canPop, nv, s.QValid[i])
+		qDom[i] = b.Ite(canPop, nd, s.QDom[i])
+		qBank[i] = b.Ite(canPop, nb, s.QBank[i])
+		qSeq[i] = b.Ite(canPop, ns, s.QSeq[i])
+	}
+
+	// --- 6. Enqueue shaper emissions (sequence order), then the receiver.
+	for q := 0; q < nseq; q++ {
+		qValid, qDom, qBank, qSeq = m.enqueue(qValid, qDom, qBank, qSeq, dues[q], sym.False, emitBanks[q], b.Const(q == 1))
+	}
+	qValid, qDom, qBank, qSeq = m.enqueue(qValid, qDom, qBank, qSeq, in.RxValid, sym.True, in.RxBank, sym.False)
+
+	// --- 7. Shaper response handling, per sequence.
+	next.Waiting = make([]sym.Expr, nseq)
+	next.Countdown = make([]sym.Vec, nseq)
+	for q := 0; q < nseq; q++ {
+		gotResp := respTx
+		if nseq == 2 {
+			if q == 0 {
+				gotResp = b.And(respTx, s.ServSeq.Not())
+			} else {
+				gotResp = b.And(respTx, s.ServSeq)
+			}
+		}
+		next.Waiting[q] = b.Or(b.And(s.Waiting[q], gotResp.Not()), dues[q])
+		next.Countdown[q] = b.VecIte(gotResp, b.VecConst(m.cdBits, uint64(m.cfg.Weight)), cdAfter[q])
+	}
+	step := s.Step
+	if nseq == 1 && m.cfg.Banks == 2 {
+		step = b.Ite(dues[0], s.Step.Not(), s.Step)
+	} else {
+		step = sym.False
+	}
+
+	next.Step = step
+	next.Pending = pend
+	next.QValid = qValid
+	next.QDom = qDom
+	next.QBank = qBank
+	next.QSeq = qSeq
+	next.Busy = busyAfter2
+	next.Remaining = remAfter2
+	next.ServDom = servDom
+	next.ServBank = servBank
+	next.ServSeq = servSeq
+	return next, out
+}
+
+// enqueue inserts an entry into the first invalid slot (dropped when the
+// queue is full — identically for both compared runs, since occupancy is
+// secret-independent).
+func (m *Model) enqueue(qValid, qDom, qBank, qSeq []sym.Expr, valid, dom, bank, seq sym.Expr) ([]sym.Expr, []sym.Expr, []sym.Expr, []sym.Expr) {
+	b := m.b
+	placed := sym.False
+	nv := append([]sym.Expr{}, qValid...)
+	nd := append([]sym.Expr{}, qDom...)
+	nb := append([]sym.Expr{}, qBank...)
+	ns := append([]sym.Expr{}, qSeq...)
+	for i := 0; i < m.cfg.QueueDepth; i++ {
+		here := b.AndAll(valid, placed.Not(), qValid[i].Not())
+		nv[i] = b.Or(qValid[i], here)
+		nd[i] = b.Ite(here, dom, qDom[i])
+		nb[i] = b.Ite(here, bank, qBank[i])
+		ns[i] = b.Ite(here, seq, qSeq[i])
+		placed = b.Or(placed, here)
+	}
+	return nv, nd, nb, ns
+}
+
+// OutputsEqual builds the equality of two receiver observations: validity
+// must match, and when valid the bank must match.
+func (m *Model) OutputsEqual(a, b Output) sym.Expr {
+	bd := m.b
+	eq := bd.Eq(a.RespValid, b.RespValid)
+	bankEq := bd.Or(a.RespValid.Not(), bd.Eq(a.RespBank, b.RespBank))
+	return bd.And(eq, bankEq)
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"dagguise/internal/mem"
+	"dagguise/internal/trace"
+)
+
+func TestFifteenProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 15 {
+		t.Fatalf("profiles = %d, want 15 (Figure 9's x-axis)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("lbm")
+	if err != nil || p.Name != "lbm" {
+		t.Fatalf("ByName(lbm) = %v, %v", p, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if len(Names()) != 15 {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestValidateRejectsBadFractions(t *testing.T) {
+	p := Profile{Name: "x", MeanGap: 10, HotFraction: 1.5}
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad hot fraction accepted")
+	}
+	p = Profile{Name: "x", MeanGap: -1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	p, _ := ByName("xz")
+	a := MustSource(p, 42)
+	b := MustSource(p, 42)
+	for i := 0; i < 1000; i++ {
+		opA, _ := a.Next()
+		opB, _ := b.Next()
+		if opA != opB {
+			t.Fatalf("op %d differs: %+v vs %+v", i, opA, opB)
+		}
+	}
+}
+
+func TestSourceResetRestartsStream(t *testing.T) {
+	p, _ := ByName("lbm")
+	s := MustSource(p, 7)
+	var first []trace.Op
+	for i := 0; i < 100; i++ {
+		op, _ := s.Next()
+		first = append(first, op)
+	}
+	s.Reset()
+	for i := 0; i < 100; i++ {
+		op, _ := s.Next()
+		if op != first[i] {
+			t.Fatalf("op %d differs after reset", i)
+		}
+	}
+}
+
+func TestSeedsSeparateAddressSpaces(t *testing.T) {
+	p, _ := ByName("lbm")
+	a := MustSource(p, 1)
+	b := MustSource(p, 2)
+	opA, _ := a.Next()
+	opB, _ := b.Next()
+	if opA.Addr>>32 == opB.Addr>>32 {
+		t.Fatal("different seeds share an address-space base")
+	}
+}
+
+func TestProfileCharacteristicsRealised(t *testing.T) {
+	// lbm must generate far more distinct (cold) lines per op than
+	// exchange2, and more writes.
+	countCold := func(name string) (cold int, writes int, gaps int) {
+		p, _ := ByName(name)
+		s := MustSource(p, 3)
+		seen := map[uint64]bool{}
+		for i := 0; i < 20000; i++ {
+			op, _ := s.Next()
+			line := op.Addr >> 6
+			if !seen[line] {
+				seen[line] = true
+				cold++
+			}
+			if op.Kind == mem.Write {
+				writes++
+			}
+			gaps += op.Gap
+		}
+		return
+	}
+	lbmCold, lbmWr, lbmGap := countCold("lbm")
+	exCold, _, exGap := countCold("exchange2")
+	if lbmCold <= exCold*2 {
+		t.Fatalf("lbm cold lines %d not clearly above exchange2 %d", lbmCold, exCold)
+	}
+	if lbmWr == 0 {
+		t.Fatal("lbm generated no writes")
+	}
+	if lbmGap >= exGap {
+		t.Fatalf("lbm gap %d should be below exchange2 %d", lbmGap, exGap)
+	}
+}
+
+func TestSortedByIntensity(t *testing.T) {
+	names := SortedByIntensity()
+	if len(names) != 15 {
+		t.Fatal("intensity sort lost profiles")
+	}
+	if names[0] != "lbm" {
+		t.Fatalf("most intense = %s, want lbm", names[0])
+	}
+	last := names[len(names)-1]
+	if last != "exchange2" && last != "leela" {
+		t.Fatalf("least intense = %s, want a compute-bound profile", last)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// The gap generator must realise roughly the configured mean.
+	p := Profile{Name: "g", MeanGap: 50, HotFraction: 1}
+	s := MustSource(p, 11)
+	total := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op, _ := s.Next()
+		total += op.Gap
+	}
+	meanGap := float64(total) / n
+	if meanGap < 35 || meanGap > 65 {
+		t.Fatalf("realised mean gap %.1f, want near 50", meanGap)
+	}
+}

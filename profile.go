@@ -1,0 +1,43 @@
+package dagguise
+
+import (
+	"dagguise/internal/area"
+	"dagguise/internal/profile"
+)
+
+// ProfileOptions tunes the offline profiling sweep (§4.3).
+type ProfileOptions = profile.Options
+
+// ProfilePoint is one candidate defense rDAG's measurement (a point in
+// Figure 7).
+type ProfilePoint = profile.Point
+
+// ProfileResult is the outcome of a profiling sweep, including the
+// selected knee-point defense rDAG.
+type ProfileResult = profile.Result
+
+// ProfileVictim sweeps the template search space, running the victim alone
+// under each candidate defense rDAG, and selects a cost-effective defense
+// at the knee of the IPC-versus-allocated-bandwidth curve. mkVictim must
+// return a fresh trace source per call.
+func ProfileVictim(mkVictim func() TraceSource, space TemplateSpace, opts ProfileOptions) (*ProfileResult, error) {
+	return profile.Sweep(mkVictim, space, opts)
+}
+
+// DefaultProfileOptions returns sweep windows adequate for the bundled
+// victims.
+func DefaultProfileOptions() ProfileOptions { return profile.DefaultOptions() }
+
+// AreaConfig parameterises the shaper hardware cost model.
+type AreaConfig = area.Config
+
+// AreaResult is the Table 3 breakdown: computation-logic gates and private
+// queue SRAM with their 45nm areas.
+type AreaResult = area.Result
+
+// Table3AreaConfig returns the configuration evaluated in the paper: eight
+// shapers, eight banks each, 16-bit weights, eight 72-byte queue entries.
+func Table3AreaConfig() AreaConfig { return area.Table3Config() }
+
+// EstimateArea computes the DAGguise hardware footprint.
+func EstimateArea(cfg AreaConfig) (AreaResult, error) { return area.Estimate(cfg) }

@@ -1,0 +1,52 @@
+package dagguise
+
+import "dagguise/internal/rdag"
+
+// Graph is a finite Directed Acyclic Request Graph (§4.1): vertices are
+// memory requests (bank + read/write), weighted edges are timing
+// dependencies from a source request's completion to a destination
+// request's arrival.
+type Graph = rdag.Graph
+
+// Vertex is one memory request in a Graph.
+type Vertex = rdag.Vertex
+
+// GraphEdge is a timing dependency in a Graph.
+type GraphEdge = rdag.Edge
+
+// VertexID indexes a vertex within a Graph.
+type VertexID = rdag.VertexID
+
+// Template is the configurable rDAG template of §4.3: parallel sequences
+// of uniform-weight chains cycling over the banks, with a deterministic
+// write ratio. Templates are the practical form of defense rDAGs.
+type Template = rdag.Template
+
+// TemplateSpace is the profiling search space over templates.
+type TemplateSpace = rdag.Space
+
+// Driver is the runtime form of a defense rDAG executed by the shaper.
+type Driver = rdag.Driver
+
+// Slot is a request prescribed by a Driver.
+type Slot = rdag.Slot
+
+// NewPatternDriver builds the hardware-shaped driver for a template: one
+// small state machine per parallel sequence.
+func NewPatternDriver(tpl Template) (*rdag.PatternDriver, error) {
+	return rdag.NewPatternDriver(tpl)
+}
+
+// NewGraphDriver builds a driver that cyclically executes an arbitrary
+// finite rDAG, restarting its roots restartWeight cycles after each full
+// traversal. It supports irregular defense rDAGs beyond the template
+// space.
+func NewGraphDriver(g *Graph, restartWeight uint64) (*rdag.GraphDriver, error) {
+	return rdag.NewGraphDriver(g, restartWeight)
+}
+
+// DefaultTemplateSpace returns the paper's Figure 7 search space: 1/2/4/8
+// parallel sequences and uniform edge weights of 0..400 DRAM cycles.
+func DefaultTemplateSpace(banks int) TemplateSpace {
+	return rdag.DefaultSpace(banks)
+}

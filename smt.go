@@ -1,0 +1,46 @@
+package dagguise
+
+import (
+	"dagguise/internal/rdag"
+	"dagguise/internal/smt"
+)
+
+// SMTUnit is a functional-unit class of the §7 SMT port-contention
+// demonstration.
+type SMTUnit = smt.Unit
+
+// The SMT unit classes.
+const (
+	SMTALU = smt.ALU
+	SMTMUL = smt.MUL
+	SMTDIV = smt.DIV
+	SMTLSU = smt.LSU
+)
+
+// SMTUOp is one micro-operation of an SMT thread.
+type SMTUOp = smt.UOp
+
+// SMTLeakage holds the port-channel leakage with and without shaping.
+type SMTLeakage = smt.Leakage
+
+// SMTSecretTrace builds a square-and-multiply-style µop stream whose
+// divider usage encodes the secret bits — the PORTSMASH-style transmitter.
+func SMTSecretTrace(bits []int) []SMTUOp { return smt.SecretTrace(bits) }
+
+// SMTDefaultDefense returns a defense rDAG over the functional-unit
+// classes (one sequence per class, uniform rate).
+func SMTDefaultDefense() Template { return smt.DefaultDefense() }
+
+// SMTMeasureLeakage runs the SMT port-contention channel for two secrets,
+// unshaped and shaped by a DAGguise port shaper, and returns the
+// per-probe mutual information of each — the §7 generalisation of the
+// paper, demonstrated end to end.
+func SMTMeasureLeakage(secret0, secret1 []int, defense Template, probes int) (SMTLeakage, error) {
+	return smt.MeasureLeakage(secret0, secret1, defense, probes)
+}
+
+// SMTRunChannel exposes the raw channel: the attacker's divider-probe
+// latencies while the victim µop stream runs unshaped or shaped.
+func SMTRunChannel(victim []SMTUOp, shaped bool, defense rdag.Template, probes int) ([]uint64, error) {
+	return smt.RunChannel(victim, shaped, defense, probes)
+}
