@@ -371,7 +371,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 			keep := flights[:0]
 			for _, f := range flights {
 				if f.at <= now {
-					if sh.OnResponse(f.resp, now) {
+					if deliver, _ := sh.OnResponse(f.resp, now); deliver {
 						forwarded++
 					}
 				} else {

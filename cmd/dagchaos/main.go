@@ -1,0 +1,179 @@
+// Command dagchaos runs randomized, seed-reported fault-injection
+// campaigns against the simulated memory system: for each seed it draws a
+// deterministic fault schedule (DRAM refresh storms, response delay/drop,
+// shaper backpressure bursts, egress stalls), attaches it to a freshly
+// built machine per scheme, and runs with the forward-progress watchdog
+// armed. Any invariant violation is printed with the campaign seed, so
+// the failure replays exactly with `-seed <n> -campaigns 1`.
+//
+// For DAGguise it additionally checks non-interference under faults: two
+// runs differing only in the victim's secret must produce bit-identical
+// shaped egress timing traces under the identical fault schedule.
+//
+// Usage:
+//
+//	dagchaos                          # 10 campaigns, every scheme
+//	dagchaos -campaigns 50 -seed 7    # longer sweep from base seed 7
+//	dagchaos -scheme dagguise         # one scheme only
+//	dagchaos -cycles 200000           # longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dagguise/internal/config"
+	"dagguise/internal/fault"
+	"dagguise/internal/mem"
+	"dagguise/internal/sim"
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+	"dagguise/internal/workload"
+)
+
+var schemes = []struct {
+	name   string
+	scheme config.Scheme
+}{
+	{"insecure", config.Insecure},
+	{"fs", config.FixedService},
+	{"fs-bta", config.FSBTA},
+	{"tp", config.TemporalPartitioning},
+	{"camouflage", config.Camouflage},
+	{"dagguise", config.DAGguise},
+}
+
+func main() {
+	campaigns := flag.Int("campaigns", 10, "number of fault campaigns per scheme")
+	baseSeed := flag.Int64("seed", 1, "base campaign seed (campaign i uses seed+i)")
+	cycles := flag.Uint64("cycles", 120_000, "cycles per run")
+	events := flag.Int("events", 12, "fault events per campaign")
+	schemeFlag := flag.String("scheme", "all", "scheme to torture: all, insecure, fs, fs-bta, tp, camouflage, dagguise")
+	app := flag.String("app", "lbm", "co-runner workload")
+	flag.Parse()
+
+	if *schemeFlag != "all" {
+		known := false
+		for _, sc := range schemes {
+			known = known || sc.name == *schemeFlag
+		}
+		if !known {
+			names := make([]string, 0, len(schemes))
+			for _, sc := range schemes {
+				names = append(names, sc.name)
+			}
+			fmt.Fprintf(os.Stderr, "dagchaos: unknown scheme %q (use all, %s)\n", *schemeFlag, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+
+	failures := 0
+	for _, sc := range schemes {
+		if *schemeFlag != "all" && *schemeFlag != sc.name {
+			continue
+		}
+		for i := 0; i < *campaigns; i++ {
+			seed := *baseSeed + int64(i)
+			sched := fault.Campaign(seed, fault.CampaignConfig{
+				Horizon: *cycles,
+				Domains: []mem.Domain{1},
+				// Keep individual storms well under the default
+				// watchdog stall budget: a healthy machine must
+				// never be flagged, so every report is a finding.
+				MaxStorm: 4_000,
+				Events:   *events,
+			})
+			if err := runCampaign(sc.scheme, *app, sched, *cycles); err != nil {
+				failures++
+				fmt.Printf("FAIL  %-10s seed=%-6d %v\n", sc.name, seed, err)
+				continue
+			}
+			line := fmt.Sprintf("ok    %-10s seed=%-6d %d events", sc.name, seed, len(sched.Events))
+			if sc.scheme == config.DAGguise {
+				if err := checkNonInterference(*app, sched, *cycles); err != nil {
+					failures++
+					fmt.Printf("FAIL  %-10s seed=%-6d non-interference: %v\n", sc.name, seed, err)
+					continue
+				}
+				line += "  egress traces secret-independent"
+			}
+			fmt.Println(line)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dagchaos: %d campaign(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// build wires a two-core machine: a protected DocDist victim carrying the
+// given secret and one unprotected co-runner.
+func build(scheme config.Scheme, app string, secret int64) (*sim.System, error) {
+	tr, err := victim.DocDistTrace(secret, victim.DefaultDocDist())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Default(2, scheme)
+	return sim.New(cfg, []sim.CoreSpec{
+		{Name: "docdist", Source: &trace.Loop{Inner: tr}, Protected: true},
+		{Name: app, Source: workload.MustSource(prog, 5)},
+	})
+}
+
+// runCampaign attaches the schedule and runs with the default watchdog;
+// any SimError comes back as the campaign verdict.
+func runCampaign(scheme config.Scheme, app string, sched fault.Schedule, cycles uint64) error {
+	sys, err := build(scheme, app, 11)
+	if err != nil {
+		return err
+	}
+	if err := sys.AttachFaults(sched); err != nil {
+		return err
+	}
+	return sys.RunChecked(cycles)
+}
+
+// checkNonInterference runs the same fault schedule against two victims
+// differing only in their secret and compares the shaped egress traces.
+func checkNonInterference(app string, sched fault.Schedule, cycles uint64) error {
+	run := func(secret int64) ([]sim.EgressEvent, error) {
+		sys, err := build(config.DAGguise, app, secret)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AttachFaults(sched); err != nil {
+			return nil, err
+		}
+		sys.EnableEgressTrace()
+		if err := sys.RunChecked(cycles); err != nil {
+			return nil, err
+		}
+		return sys.EgressTrace(1), nil
+	}
+	a, err := run(11)
+	if err != nil {
+		return err
+	}
+	b, err := run(12)
+	if err != nil {
+		return err
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("trace lengths diverge: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("traces diverge at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		return fmt.Errorf("empty egress trace")
+	}
+	return nil
+}

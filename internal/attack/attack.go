@@ -147,21 +147,22 @@ func (h *Harness) alloc() uint64 {
 }
 
 // victimEnqueue routes a victim request through the scheme's shaper (if
-// any) or directly to the controller.
-func (h *Harness) victimEnqueue(req mem.Request, now uint64) bool {
+// any) or directly to the controller. The error reports a routing
+// violation (a request tagged with the wrong domain).
+func (h *Harness) victimEnqueue(req mem.Request, now uint64) (bool, error) {
 	switch {
 	case h.dag != nil:
 		if h.dag.Full() {
-			return false
+			return false, nil
 		}
 		return h.dag.Enqueue(req, now)
 	case h.camo != nil:
 		if h.camo.Full() {
-			return false
+			return false, nil
 		}
 		return h.camo.Enqueue(req, now)
 	default:
-		return h.ctrl.Enqueue(req, now)
+		return h.ctrl.Enqueue(req, now), nil
 	}
 }
 
@@ -200,7 +201,11 @@ func (h *Harness) Run(victim Pattern, probe Probe, nProbes int, maxCycles uint64
 				Domain: victimDomain,
 				Issue:  now,
 			}
-			if h.victimEnqueue(req, now) {
+			ok, err := h.victimEnqueue(req, now)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				vPendingID = req.ID
 				vOutstanding = true
 			}
@@ -243,7 +248,11 @@ func (h *Harness) Run(victim Pattern, probe Probe, nProbes int, maxCycles uint64
 			case victimDomain:
 				deliver := true
 				if h.dag != nil {
-					deliver = h.dag.OnResponse(resp, now)
+					var err error
+					deliver, err = h.dag.OnResponse(resp, now)
+					if err != nil {
+						return nil, err
+					}
 				} else if h.camo != nil {
 					deliver = h.camo.OnResponse(resp, now)
 				}

@@ -111,18 +111,20 @@ func (s *Shaper) Full() bool { return len(s.queue) >= s.capacity }
 // QueueLen returns the private queue occupancy.
 func (s *Shaper) QueueLen() int { return len(s.queue) }
 
-// Enqueue accepts a real request from the domain.
-func (s *Shaper) Enqueue(req mem.Request, now uint64) bool {
+// Enqueue accepts a real request from the domain. It returns (false, nil)
+// when the private queue is full (ordinary backpressure) and a
+// *shaper.RoutingError when the request belongs to another domain.
+func (s *Shaper) Enqueue(req mem.Request, now uint64) (bool, error) {
 	if req.Domain != s.domain {
-		panic(fmt.Sprintf("camouflage: request domain %d routed to shaper for domain %d", req.Domain, s.domain))
+		return false, &shaper.RoutingError{Got: req.Domain, Want: s.domain, ID: req.ID}
 	}
 	if len(s.queue) >= s.capacity {
 		s.stats.Rejected++
-		return false
+		return false, nil
 	}
 	s.queue = append(s.queue, req)
 	s.stats.Enqueued++
-	return true
+	return true, nil
 }
 
 // refill starts a new epoch with a fresh copy of the distribution.

@@ -1,6 +1,7 @@
 package camouflage
 
 import (
+	"errors"
 	"testing"
 
 	"dagguise/internal/mem"
@@ -127,27 +128,32 @@ func TestBackpressureAndStats(t *testing.T) {
 	m := testMapper()
 	s, _ := New(1, Distribution{Intervals: []uint64{1000}}, m, 2, alloc(), 1)
 	for i := 0; i < 2; i++ {
-		if !s.Enqueue(mem.Request{ID: uint64(i + 1), Addr: 0, Domain: 1}, 0) {
-			t.Fatal("enqueue rejected below capacity")
+		if ok, err := s.Enqueue(mem.Request{ID: uint64(i + 1), Addr: 0, Domain: 1}, 0); err != nil || !ok {
+			t.Fatalf("enqueue rejected below capacity (ok=%v err=%v)", ok, err)
 		}
 	}
-	if s.Enqueue(mem.Request{ID: 9, Addr: 0, Domain: 1}, 0) {
-		t.Fatal("enqueue accepted over capacity")
+	if ok, err := s.Enqueue(mem.Request{ID: 9, Addr: 0, Domain: 1}, 0); err != nil || ok {
+		t.Fatalf("enqueue accepted over capacity (ok=%v err=%v)", ok, err)
 	}
 	if s.Stats().Rejected != 1 || s.Stats().Enqueued != 2 {
 		t.Fatalf("stats = %+v", s.Stats())
 	}
 }
 
-func TestWrongDomainPanics(t *testing.T) {
+func TestWrongDomainIsRoutingError(t *testing.T) {
 	m := testMapper()
 	s, _ := New(1, Distribution{Intervals: []uint64{10}}, m, 8, alloc(), 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	s.Enqueue(mem.Request{ID: 1, Domain: 3}, 0)
+	ok, err := s.Enqueue(mem.Request{ID: 1, Domain: 3}, 0)
+	if ok {
+		t.Fatal("wrong-domain request accepted")
+	}
+	var rerr *shaper.RoutingError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error = %v, want *shaper.RoutingError", err)
+	}
+	if rerr.Got != 3 || rerr.Want != 1 || rerr.ID != 1 {
+		t.Fatalf("routing error fields = %+v", rerr)
+	}
 }
 
 func TestFakeResponsesSwallowed(t *testing.T) {

@@ -51,7 +51,9 @@ func ProfileVictim(src trace.Source, samples int, maxRequests int) (Distribution
 	for now := uint64(0); now < maxCycles && len(times) < maxRequests && !core.Done(); now++ {
 		core.Tick(now)
 		for _, resp := range ctrl.Tick(now) {
-			core.OnResponse(resp, now)
+			if err := core.OnResponse(resp, now); err != nil {
+				return Distribution{}, err
+			}
 		}
 	}
 	if len(times) < 2 {

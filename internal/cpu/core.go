@@ -316,28 +316,48 @@ func (c *Core) retire(now uint64) {
 	}
 }
 
+// RetiredResponseError reports a memory completion for an instruction that
+// already retired — a protocol violation: the core never retires a load
+// before its response arrives, so a late duplicate or corrupted response ID
+// is the only way here.
+type RetiredResponseError struct {
+	// Domain is the core's security domain, ID the response's request ID.
+	Domain mem.Domain
+	ID     uint64
+	// Seq is the retired instruction sequence number, Base the oldest
+	// in-window sequence at the time of the violation.
+	Seq, Base uint64
+}
+
+// Error implements error.
+func (e *RetiredResponseError) Error() string {
+	return fmt.Sprintf("cpu: domain %d response %d for retired op seq %d (base %d)", e.Domain, e.ID, e.Seq, e.Base)
+}
+
 // OnResponse delivers a memory read completion to the core. Prefetch
 // completions fill L2/L3; unknown IDs (e.g. write completions, which the
-// core does not track) are ignored.
-func (c *Core) OnResponse(resp mem.Response, now uint64) {
+// core does not track) are ignored. A response for an already-retired
+// instruction is a protocol violation reported as *RetiredResponseError.
+func (c *Core) OnResponse(resp mem.Response, now uint64) error {
 	if addr, ok := c.pfInMem[resp.ID]; ok {
 		delete(c.pfInMem, resp.ID)
 		delete(c.pfIssued, addr/64)
 		c.wbQueue = append(c.wbQueue, c.hier.PrefetchFill(addr)...)
-		return
+		return nil
 	}
 	seq, ok := c.reads[resp.ID]
 	if !ok {
-		return
+		return nil
 	}
 	delete(c.reads, resp.ID)
 	if seq < c.baseSeq {
-		panic(fmt.Sprintf("cpu: response for retired op seq %d (base %d)", seq, c.baseSeq))
+		return &RetiredResponseError{Domain: c.domain, ID: resp.ID, Seq: seq, Base: c.baseSeq}
 	}
 	s := &c.window[seq-c.baseSeq]
 	s.status = stDone
 	s.completion = now
 	c.outstanding--
+	return nil
 }
 
 // Outstanding returns in-flight memory reads.

@@ -99,6 +99,12 @@ type Result struct {
 	Outcome Outcome
 }
 
+// stallWindow is an injected blackout [from, until) during which no command
+// may start (a fault-injected refresh storm beyond the nominal schedule).
+type stallWindow struct {
+	from, until uint64
+}
+
 // Device is the DRAM device array behind one set of channels.
 type Device struct {
 	t         Timing
@@ -107,9 +113,11 @@ type Device struct {
 	banks     []bankState
 	ranks     []rankState
 	channels  []chanState
+	stalls    []stallWindow
 
 	// Stats counters.
 	hits, misses, conflicts, refreshes uint64
+	stallHits                          uint64
 }
 
 // New builds a Device for the geometry embedded in the mapper. closedRow
@@ -165,18 +173,59 @@ func max64(vals ...uint64) uint64 {
 }
 
 // refreshGate advances the lazy refresh schedule of the rank and returns the
-// earliest cycle ≥ at that is outside a refresh window.
+// earliest cycle ≥ at that is outside a refresh window and outside every
+// injected stall window. The catch-up is O(1) in the number of elapsed
+// refresh intervals, so a transaction displaced far into the future by an
+// injected storm (up to fault.Forever) is gated in constant time.
 func (d *Device) refreshGate(rk *rankState, at uint64) uint64 {
-	for at >= rk.nextRefresh {
-		rk.refreshEnd = rk.nextRefresh + d.t.RFC
-		rk.nextRefresh += d.t.REFI
-		d.refreshes++
+	if at >= rk.nextRefresh {
+		k := (at-rk.nextRefresh)/d.t.REFI + 1
+		rk.refreshEnd = rk.nextRefresh + (k-1)*d.t.REFI + d.t.RFC
+		rk.nextRefresh += k * d.t.REFI
+		d.refreshes += k
 	}
 	if at < rk.refreshEnd {
 		at = rk.refreshEnd
 	}
+	return d.stallGate(at)
+}
+
+// stallGate pushes at past any injected blackout window covering it.
+// Windows are disjoint-or-nested in practice but the loop handles overlaps;
+// it terminates because each iteration strictly advances at to a window end.
+func (d *Device) stallGate(at uint64) uint64 {
+	for moved := true; moved; {
+		moved = false
+		for _, w := range d.stalls {
+			if at >= w.from && at < w.until {
+				at = w.until
+				d.stallHits++
+				moved = true
+			}
+		}
+	}
 	return at
 }
+
+// InjectStallWindow registers a blackout window [from, until): no command
+// may start inside it. It models a fault-injected refresh storm; the window
+// applies to every rank alike (storms are device-global and, critically for
+// the security argument, input-independent). until is clamped so schedule
+// arithmetic cannot overflow.
+func (d *Device) InjectStallWindow(from, until uint64) {
+	const maxUntil = uint64(1) << 60 // fault.Forever; avoids importing the package
+	if until > maxUntil {
+		until = maxUntil
+	}
+	if until <= from {
+		return
+	}
+	d.stalls = append(d.stalls, stallWindow{from: from, until: until})
+}
+
+// InjectedStallHits reports how many command schedules were displaced by
+// injected stall windows.
+func (d *Device) InjectedStallHits() uint64 { return d.stallHits }
 
 // fawGate returns the earliest cycle ≥ at an ACT may issue under tFAW.
 func (d *Device) fawGate(rk *rankState, at uint64) uint64 {
@@ -318,7 +367,9 @@ func (d *Device) Reset() {
 	for i := range d.channels {
 		d.channels[i] = chanState{}
 	}
+	d.stalls = nil
 	d.hits, d.misses, d.conflicts, d.refreshes = 0, 0, 0, 0
+	d.stallHits = 0
 }
 
 // UncontendedReadLatency returns the latency in CPU cycles of an isolated

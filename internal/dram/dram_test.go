@@ -296,3 +296,56 @@ func TestDeviceString(t *testing.T) {
 		t.Fatal("open and closed devices should describe differently")
 	}
 }
+
+func TestInjectedStallWindowDisplacesService(t *testing.T) {
+	d, _ := testDevice(true)
+	d.InjectStallWindow(1_000, 5_000)
+	c := mem.Coord{Bank: 0, Row: 3, Column: 0}
+
+	// Before the window: unaffected.
+	if r := d.Service(c, mem.Read, 0); r.Start >= 1_000 {
+		t.Fatalf("pre-window service displaced to %d", r.Start)
+	}
+	// Inside the window: pushed past its end.
+	r := d.Service(c, mem.Read, 2_000)
+	if r.Start < 5_000 {
+		t.Fatalf("in-window service started at %d, want >= 5000", r.Start)
+	}
+	if d.InjectedStallHits() == 0 {
+		t.Fatal("stall hit not accounted")
+	}
+	// Well after the window: unaffected again.
+	r2 := d.Service(c, mem.Read, 50_000)
+	if r2.Start >= 1<<30 {
+		t.Fatalf("post-window service displaced to %d", r2.Start)
+	}
+}
+
+func TestInjectedStallWindowClampsAndRefreshCatchUpIsO1(t *testing.T) {
+	d, _ := testDevice(true)
+	// A permanent storm: until is clamped to 2^60 and the O(1) refresh
+	// catch-up must handle the enormous displacement without spinning.
+	d.InjectStallWindow(100, ^uint64(0))
+	r := d.Service(mem.Coord{Bank: 1, Row: 0, Column: 0}, mem.Read, 500)
+	if r.Start < 1<<60 {
+		t.Fatalf("service inside permanent storm started at %d", r.Start)
+	}
+	if r.DataDone <= r.Start {
+		t.Fatal("schedule arithmetic overflowed")
+	}
+	// A second transaction on the same bank lands even later, exercising
+	// the refresh catch-up with a huge `at`.
+	r2 := d.Service(mem.Coord{Bank: 1, Row: 1, Column: 0}, mem.Read, 600)
+	if r2.Start < r.DataDone {
+		t.Fatalf("bank occupancy lost under storm: %d < %d", r2.Start, r.DataDone)
+	}
+}
+
+func TestInjectStallWindowRejectsEmpty(t *testing.T) {
+	d, _ := testDevice(true)
+	d.InjectStallWindow(10, 10)
+	d.InjectStallWindow(20, 5)
+	if r := d.Service(mem.Coord{Bank: 0, Row: 0, Column: 0}, mem.Read, 12); r.Start >= 1_000 {
+		t.Fatalf("empty windows must be ignored, start=%d", r.Start)
+	}
+}

@@ -240,6 +240,27 @@ func (c *Controller) Stats() Stats { return c.stats }
 // BytesForDomain returns the real (non-fake) bytes served for the domain.
 func (c *Controller) BytesForDomain(d mem.Domain) uint64 { return c.byDomain[d] }
 
+// QueueSnapshot returns the per-domain occupancy of the transaction queue,
+// for watchdog diagnostics (the queue picture at the moment an invariant
+// fails). Domains with no queued requests are absent from the map.
+func (c *Controller) QueueSnapshot() map[mem.Domain]int {
+	snap := make(map[mem.Domain]int, len(c.perDomain))
+	for _, e := range c.queue {
+		snap[e.Req.Domain]++
+	}
+	return snap
+}
+
+// NextCompletion returns the cycle of the earliest in-flight completion,
+// or false if nothing is in flight. The watchdog uses it to tell a stalled
+// device (completions parked in the far future) from an idle one.
+func (c *Controller) NextCompletion() (uint64, bool) {
+	if len(c.inflight) == 0 {
+		return 0, false
+	}
+	return c.inflight[0].at, true
+}
+
 // PendingForDomain counts queued requests belonging to the domain.
 func (c *Controller) PendingForDomain(d mem.Domain) int {
 	n := 0

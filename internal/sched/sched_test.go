@@ -326,3 +326,33 @@ func TestSchedulerNames(t *testing.T) {
 		t.Fatal("tp name")
 	}
 }
+
+func TestFSRejectsEmptyGroups(t *testing.T) {
+	// The FS-family constructors treat an empty rotation as a wiring bug:
+	// an arbiter with no slots can never serve anyone. The contract is a
+	// panic at construction, not a silent dead scheduler.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFixedService accepted an empty group rotation")
+		}
+	}()
+	NewFixedService(config.DDR31600(), nil)
+}
+
+func TestFSBTARejectsEmptyGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFSBTA accepted an empty group rotation")
+		}
+	}()
+	NewFSBTA(config.DDR31600(), nil)
+}
+
+func TestTPRejectsEmptyGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTemporalPartitioning accepted an empty group rotation")
+		}
+	}()
+	NewTemporalPartitioning(config.DDR31600(), nil, 96)
+}

@@ -1,0 +1,38 @@
+package shaper
+
+import (
+	"fmt"
+
+	"dagguise/internal/mem"
+)
+
+// RoutingError reports a request delivered to the wrong domain's shaper.
+// Cross-domain routing must be exact: a misrouted request would let one
+// domain's traffic perturb another's shaped stream, voiding the security
+// argument, so the violation surfaces as a typed error for the simulation
+// harness to turn into a structured failure instead of a crash.
+type RoutingError struct {
+	// Got is the domain tagged on the request, Want the shaper's domain.
+	Got, Want mem.Domain
+	// ID is the offending request's ID.
+	ID uint64
+}
+
+// Error implements error.
+func (e *RoutingError) Error() string {
+	return fmt.Sprintf("shaper: request %d with domain %d routed to shaper for domain %d", e.ID, e.Got, e.Want)
+}
+
+// UnknownResponseError reports a completion for a request ID the shaper
+// never emitted (or already completed): a protocol violation on the
+// controller→shaper response path.
+type UnknownResponseError struct {
+	// Domain is the shaper's domain, ID the unmatched response ID.
+	Domain mem.Domain
+	ID     uint64
+}
+
+// Error implements error.
+func (e *UnknownResponseError) Error() string {
+	return fmt.Sprintf("shaper: domain %d received response for unknown request %d", e.Domain, e.ID)
+}

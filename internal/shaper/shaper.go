@@ -109,15 +109,17 @@ func (s *Shaper) QueueLen() int { return len(s.queue) }
 // the domain and backpressure is invisible to other domains.
 func (s *Shaper) Full() bool { return len(s.queue) >= s.capacity }
 
-// Enqueue accepts a real request from the domain's LLC. It returns false
-// if the private queue is full.
-func (s *Shaper) Enqueue(req mem.Request, now uint64) bool {
+// Enqueue accepts a real request from the domain's LLC. It returns
+// (false, nil) if the private queue is full — ordinary backpressure the
+// producer retries — and a *RoutingError if the request belongs to another
+// domain, a wiring violation the caller must surface.
+func (s *Shaper) Enqueue(req mem.Request, now uint64) (bool, error) {
 	if req.Domain != s.domain {
-		panic(fmt.Sprintf("shaper: request domain %d routed to shaper for domain %d", req.Domain, s.domain))
+		return false, &RoutingError{Got: req.Domain, Want: s.domain, ID: req.ID}
 	}
 	if len(s.queue) >= s.capacity {
 		s.stats.Rejected++
-		return false
+		return false, nil
 	}
 	bank := s.mapper.FlatBank(s.mapper.Decode(req.Addr))
 	s.queue = append(s.queue, pending{req: req, bank: bank, enqueued: now})
@@ -125,7 +127,7 @@ func (s *Shaper) Enqueue(req mem.Request, now uint64) bool {
 	if len(s.queue) > s.stats.MaxQueue {
 		s.stats.MaxQueue = len(s.queue)
 	}
-	return true
+	return true, nil
 }
 
 // Tick polls the defense rDAG and returns the requests (real or fake) to
@@ -242,15 +244,16 @@ func (s *Shaper) fake(slot rdag.Slot, now uint64) mem.Request {
 // OnResponse handles a completion from the memory controller for a request
 // this shaper emitted. It advances the defense rDAG and reports whether
 // the response should be delivered to the core (fake responses are
-// swallowed). Responses for unknown IDs panic: routing must be exact.
-func (s *Shaper) OnResponse(resp mem.Response, now uint64) bool {
+// swallowed). A response for an ID the shaper never emitted is a protocol
+// violation reported as *UnknownResponseError: routing must be exact.
+func (s *Shaper) OnResponse(resp mem.Response, now uint64) (bool, error) {
 	token, ok := s.tokens[resp.ID]
 	if !ok {
-		panic(fmt.Sprintf("shaper: response for unknown request %d", resp.ID))
+		return false, &UnknownResponseError{Domain: s.domain, ID: resp.ID}
 	}
 	delete(s.tokens, resp.ID)
 	s.driver.Complete(token, now)
-	return !resp.Fake
+	return !resp.Fake, nil
 }
 
 // Outstanding returns the number of shaper-emitted requests currently in

@@ -1,6 +1,7 @@
 package shaper
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -24,11 +25,22 @@ func chainShaper(t *testing.T, weight uint64) (*Shaper, *mem.Mapper) {
 	return New(1, d, m, 8, allocator(), 42), m
 }
 
+// mustEnqueue enqueues and fails the test on a routing error, returning
+// whether the queue accepted the request.
+func mustEnqueue(t *testing.T, s *Shaper, req mem.Request, now uint64) bool {
+	t.Helper()
+	ok, err := s.Enqueue(req, now)
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	return ok
+}
+
 func TestShaperForwardsMatchingRequest(t *testing.T) {
 	s, m := chainShaper(t, 100)
 	// The first slot prescribes bank 0 (sequence 0, step 0), read.
 	req := mem.Request{ID: 7, Addr: m.AddrForBank(0, 5, 3), Kind: mem.Read, Domain: 1}
-	if !s.Enqueue(req, 0) {
+	if !mustEnqueue(t, s, req, 0) {
 		t.Fatal("enqueue rejected")
 	}
 	out := s.Tick(0)
@@ -62,7 +74,7 @@ func TestShaperBankMismatchYieldsFake(t *testing.T) {
 	s, m := chainShaper(t, 100)
 	// Pending request to bank 3, but the slot prescribes bank 0.
 	req := mem.Request{ID: 9, Addr: m.AddrForBank(3, 0, 0), Kind: mem.Read, Domain: 1}
-	s.Enqueue(req, 0)
+	mustEnqueue(t, s, req, 0)
 	out := s.Tick(0)
 	if len(out) != 1 || !out[0].Fake {
 		t.Fatalf("expected fake for bank mismatch, got %v", out)
@@ -75,7 +87,7 @@ func TestShaperBankMismatchYieldsFake(t *testing.T) {
 func TestShaperKindMismatchYieldsFake(t *testing.T) {
 	s, m := chainShaper(t, 100)
 	req := mem.Request{ID: 9, Addr: m.AddrForBank(0, 0, 0), Kind: mem.Write, Domain: 1}
-	s.Enqueue(req, 0)
+	mustEnqueue(t, s, req, 0)
 	out := s.Tick(0)
 	if len(out) != 1 || !out[0].Fake || out[0].Kind != mem.Read {
 		t.Fatalf("expected fake read for kind mismatch, got %v", out)
@@ -85,14 +97,14 @@ func TestShaperKindMismatchYieldsFake(t *testing.T) {
 func TestShaperBackpressure(t *testing.T) {
 	s, m := chainShaper(t, 100)
 	for i := 0; i < 8; i++ {
-		if !s.Enqueue(mem.Request{ID: uint64(i), Addr: m.AddrForBank(1, uint64(i), 0), Domain: 1}, 0) {
+		if !mustEnqueue(t, s, mem.Request{ID: uint64(i), Addr: m.AddrForBank(1, uint64(i), 0), Domain: 1}, 0) {
 			t.Fatalf("enqueue %d rejected below capacity", i)
 		}
 	}
 	if !s.Full() {
 		t.Fatal("queue should be full at 8 entries")
 	}
-	if s.Enqueue(mem.Request{ID: 99, Addr: 0, Domain: 1}, 0) {
+	if mustEnqueue(t, s, mem.Request{ID: 99, Addr: 0, Domain: 1}, 0) {
 		t.Fatal("enqueue accepted over capacity")
 	}
 	if s.Stats().Rejected != 1 {
@@ -106,7 +118,10 @@ func TestShaperResponseDrivesDAGAndSwallowsFakes(t *testing.T) {
 	if s.Outstanding() != 1 {
 		t.Fatalf("outstanding = %d", s.Outstanding())
 	}
-	deliver := s.OnResponse(mem.Response{ID: out[0].ID, Fake: true}, 30)
+	deliver, err := s.OnResponse(mem.Response{ID: out[0].ID, Fake: true}, 30)
+	if err != nil {
+		t.Fatalf("response: %v", err)
+	}
 	if deliver {
 		t.Fatal("fake response delivered to core")
 	}
@@ -122,24 +137,37 @@ func TestShaperResponseDrivesDAGAndSwallowsFakes(t *testing.T) {
 	}
 }
 
-func TestShaperPanicsOnWrongDomain(t *testing.T) {
+func TestShaperWrongDomainIsRoutingError(t *testing.T) {
 	s, _ := chainShaper(t, 50)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for wrong-domain request")
-		}
-	}()
-	s.Enqueue(mem.Request{ID: 1, Domain: 5}, 0)
+	ok, err := s.Enqueue(mem.Request{ID: 1, Domain: 5}, 0)
+	if ok {
+		t.Fatal("wrong-domain request accepted")
+	}
+	var rerr *RoutingError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error = %v, want *RoutingError", err)
+	}
+	if rerr.Got != 5 || rerr.Want != 1 || rerr.ID != 1 {
+		t.Fatalf("routing error fields = %+v", rerr)
+	}
+	if s.Stats().Enqueued != 0 {
+		t.Fatal("misrouted request must not be accounted")
+	}
 }
 
-func TestShaperPanicsOnUnknownResponse(t *testing.T) {
+func TestShaperUnknownResponseIsTypedError(t *testing.T) {
 	s, _ := chainShaper(t, 50)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown response")
-		}
-	}()
-	s.OnResponse(mem.Response{ID: 12345}, 0)
+	deliver, err := s.OnResponse(mem.Response{ID: 12345}, 0)
+	if deliver {
+		t.Fatal("unknown response delivered")
+	}
+	var uerr *UnknownResponseError
+	if !errors.As(err, &uerr) {
+		t.Fatalf("error = %v, want *UnknownResponseError", err)
+	}
+	if uerr.ID != 12345 || uerr.Domain != 1 {
+		t.Fatalf("unknown-response error fields = %+v", uerr)
+	}
 }
 
 // emission is one externally observable emission event.
@@ -226,7 +254,7 @@ func TestShaperEmissionIndependentOfVictimPattern(t *testing.T) {
 func TestShaperDelayAccounting(t *testing.T) {
 	s, m := chainShaper(t, 100)
 	req := mem.Request{ID: 1, Addr: m.AddrForBank(0, 0, 0), Kind: mem.Read, Domain: 1, Issue: 0}
-	s.Enqueue(req, 0)
+	mustEnqueue(t, s, req, 0)
 	// Slot fires at cycle 0 immediately; delay 0.
 	s.Tick(0)
 	if s.Stats().DelaySum != 0 {
@@ -236,7 +264,7 @@ func TestShaperDelayAccounting(t *testing.T) {
 
 func TestShaperReset(t *testing.T) {
 	s, m := chainShaper(t, 100)
-	s.Enqueue(mem.Request{ID: 1, Addr: m.AddrForBank(0, 0, 0), Domain: 1}, 0)
+	mustEnqueue(t, s, mem.Request{ID: 1, Addr: m.AddrForBank(0, 0, 0), Domain: 1}, 0)
 	s.Tick(0)
 	s.Reset()
 	if s.QueueLen() != 0 || s.Outstanding() != 0 || s.Stats().Enqueued != 0 {

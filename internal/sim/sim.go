@@ -14,6 +14,7 @@ import (
 	"dagguise/internal/config"
 	"dagguise/internal/cpu"
 	"dagguise/internal/dram"
+	"dagguise/internal/fault"
 	"dagguise/internal/mem"
 	"dagguise/internal/memctrl"
 	"dagguise/internal/rdag"
@@ -60,8 +61,42 @@ type System struct {
 	egress  map[mem.Domain][]mem.Request
 	order   []mem.Domain // shaper service order, deterministic
 
+	// Fault injection and forward-progress watchdog (nil/zero = off).
+	faults   *fault.Injector
+	wd       Watchdog
+	deferred []deferredResp // responses withheld by delay/drop faults
+	portErr  error          // routing violation raised inside a port this tick
+
+	egressHW     map[mem.Domain]int // per-domain egress depth high-water marks
+	lastProgress uint64             // last cycle with retirement or delivery
+	lastRetired  uint64             // total retired instructions at lastProgress
+
+	traceOn bool
+	traces  map[mem.Domain][]EgressEvent
+
 	now    uint64
 	nextID uint64
+}
+
+// deferredResp is a response withheld by a delay/drop fault, due for
+// redelivery at cycle at. The slice stays insertion-ordered, so redelivery
+// order is deterministic: by due cycle, ties broken by original completion
+// order.
+type deferredResp struct {
+	at   uint64
+	resp mem.Response
+}
+
+// EgressEvent is one externally observable shaper emission: the cycle it
+// entered the egress path, the flat bank it targets and its read/write
+// kind. Addresses and IDs are deliberately excluded — they may differ
+// between runs with different victim secrets, while the
+// (cycle, bank, kind) stream is exactly what the paper proves
+// secret-independent.
+type EgressEvent struct {
+	Cycle uint64
+	Bank  int
+	Kind  mem.Kind
 }
 
 // domainOf maps core index to its security domain (domains start at 1;
@@ -98,13 +133,14 @@ func New(cfg config.SystemConfig, specs []CoreSpec) (*System, error) {
 	dev := dram.New(cfg.Timing, mapper, cfg.ClosedRow)
 
 	s := &System{
-		cfg:     cfg,
-		mapper:  mapper,
-		dev:     dev,
-		shapers: make(map[mem.Domain]*shaper.Shaper),
-		camos:   make(map[mem.Domain]*camouflage.Shaper),
-		egress:  make(map[mem.Domain][]mem.Request),
-		specs:   specs,
+		cfg:      cfg,
+		mapper:   mapper,
+		dev:      dev,
+		shapers:  make(map[mem.Domain]*shaper.Shaper),
+		camos:    make(map[mem.Domain]*camouflage.Shaper),
+		egress:   make(map[mem.Domain][]mem.Request),
+		egressHW: make(map[mem.Domain]int),
+		specs:    specs,
 	}
 
 	policy, err := s.buildPolicy(specs)
@@ -131,6 +167,9 @@ func New(cfg config.SystemConfig, specs []CoreSpec) (*System, error) {
 			return nil, err
 		}
 		s.cores = append(s.cores, cpu.New(dom, spec.Source, hier, cfg.Core, port, alloc))
+	}
+	for _, dom := range s.order {
+		s.egressHW[dom] = 0 // shaped domains always report a high-water mark
 	}
 	return s, nil
 }
@@ -197,24 +236,48 @@ func (p ctrlPort) TryEnqueue(req mem.Request, now uint64) bool {
 	return p.s.ctrl.Enqueue(req, now)
 }
 
-// dagPort adapts a DAGguise shaper as a core port.
-type dagPort struct{ sh *shaper.Shaper }
+// dagPort adapts a DAGguise shaper as a core port. A fault-injected
+// backpressure burst makes it reject enqueues exactly like a full private
+// queue; the rejection is keyed on (domain, cycle) only and is therefore
+// secret-independent. Routing violations are stashed on the System for the
+// current tick to surface as a protocol SimError.
+type dagPort struct {
+	s  *System
+	sh *shaper.Shaper
+}
 
 func (p dagPort) TryEnqueue(req mem.Request, now uint64) bool {
+	if p.s.faults != nil && p.s.faults.ShaperRejects(p.sh.Domain(), now) {
+		return false
+	}
 	if p.sh.Full() {
 		return false
 	}
-	return p.sh.Enqueue(req, now)
+	ok, err := p.sh.Enqueue(req, now)
+	if err != nil && p.s.portErr == nil {
+		p.s.portErr = err
+	}
+	return ok
 }
 
 // camoPort adapts a Camouflage shaper as a core port.
-type camoPort struct{ sh *camouflage.Shaper }
+type camoPort struct {
+	s  *System
+	sh *camouflage.Shaper
+}
 
 func (p camoPort) TryEnqueue(req mem.Request, now uint64) bool {
+	if p.s.faults != nil && p.s.faults.ShaperRejects(p.sh.Domain(), now) {
+		return false
+	}
 	if p.sh.Full() {
 		return false
 	}
-	return p.sh.Enqueue(req, now)
+	ok, err := p.sh.Enqueue(req, now)
+	if err != nil && p.s.portErr == nil {
+		p.s.portErr = err
+	}
+	return ok
 }
 
 func (s *System) buildPort(dom mem.Domain, spec CoreSpec) (cpu.Port, error) {
@@ -234,7 +297,7 @@ func (s *System) buildPort(dom mem.Domain, spec CoreSpec) (cpu.Port, error) {
 		sh := shaper.New(dom, driver, s.mapper, privateQueueDepth, s.alloc, int64(dom)*7919)
 		s.shapers[dom] = sh
 		s.order = append(s.order, dom)
-		return dagPort{sh}, nil
+		return dagPort{s, sh}, nil
 	case config.Camouflage:
 		dist := spec.Distribution
 		if len(dist.Intervals) == 0 {
@@ -246,7 +309,7 @@ func (s *System) buildPort(dom mem.Domain, spec CoreSpec) (cpu.Port, error) {
 		}
 		s.camos[dom] = sh
 		s.order = append(s.order, dom)
-		return camoPort{sh}, nil
+		return camoPort{s, sh}, nil
 	default:
 		// FS-family schemes protect at the scheduler; cores talk to the
 		// controller directly. Insecure runs unshaped by definition.
@@ -254,58 +317,255 @@ func (s *System) buildPort(dom mem.Domain, spec CoreSpec) (cpu.Port, error) {
 	}
 }
 
-// Tick advances the whole machine one cycle.
+// Tick advances the whole machine one cycle. It panics on an invariant
+// violation (the legacy unchecked contract); use TickChecked, RunChecked or
+// MeasureChecked to receive a structured *SimError instead.
 func (s *System) Tick() {
+	if err := s.tick(); err != nil {
+		panic(err)
+	}
+}
+
+// TickChecked advances the machine one cycle and reports any invariant
+// violation as a *SimError.
+func (s *System) TickChecked() error { return s.tick() }
+
+func (s *System) tick() error {
 	now := s.now
+	s.portErr = nil
 	for _, c := range s.cores {
 		c.Tick(now)
 	}
+	if s.portErr != nil {
+		return s.errf(InvariantProtocol, 0, s.portErr, "request misrouted at core port")
+	}
 	for _, dom := range s.order {
+		var emitted []mem.Request
 		if sh, ok := s.shapers[dom]; ok {
-			s.egress[dom] = append(s.egress[dom], sh.Tick(now)...)
+			emitted = sh.Tick(now)
 		}
 		if sh, ok := s.camos[dom]; ok {
-			s.egress[dom] = append(s.egress[dom], sh.Tick(now)...)
+			emitted = append(emitted, sh.Tick(now)...)
 		}
-		q := s.egress[dom]
-		for len(q) > 0 && s.ctrl.Enqueue(q[0], now) {
-			q = q[1:]
+		if s.traceOn {
+			for _, req := range emitted {
+				s.traces[dom] = append(s.traces[dom], EgressEvent{
+					Cycle: now,
+					Bank:  s.mapper.FlatBank(s.mapper.Decode(req.Addr)),
+					Kind:  req.Kind,
+				})
+			}
+		}
+		q := append(s.egress[dom], emitted...)
+		// Drain into the controller through an index cursor and compact
+		// with copy: the former q = q[1:] loop kept the consumed prefix
+		// of the backing array reachable forever.
+		n := 0
+		if s.faults == nil || !s.faults.EgressStalled(dom, now) {
+			for n < len(q) && s.ctrl.Enqueue(q[n], now) {
+				n++
+			}
+		}
+		if n > 0 {
+			rest := copy(q, q[n:])
+			q = q[:rest]
 		}
 		s.egress[dom] = q
+		if len(q) > s.egressHW[dom] {
+			s.egressHW[dom] = len(q)
+		}
+		if s.wd.EgressHighWater > 0 && len(q) > s.wd.EgressHighWater {
+			return s.errf(InvariantLivelock, dom, nil,
+				"egress queue depth %d exceeds high-water mark %d", len(q), s.wd.EgressHighWater)
+		}
 	}
-	for _, resp := range s.ctrl.Tick(now) {
-		s.route(resp, now)
+	resps := s.ctrl.Tick(now)
+	// Fault layer on the controller→core boundary: withhold responses
+	// covered by a delay/drop window and redeliver the ones that are due.
+	// Both decisions are keyed on (domain, cycle) only.
+	if s.faults != nil {
+		kept := resps[:0]
+		for _, r := range resps {
+			if at, held := s.faults.DeferResponse(r.Domain, now); held {
+				s.deferred = append(s.deferred, deferredResp{at: at, resp: r})
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		resps = kept
+	}
+	if len(s.deferred) > 0 {
+		rest := s.deferred[:0]
+		for _, d := range s.deferred {
+			if d.at <= now {
+				resps = append(resps, d.resp)
+			} else {
+				rest = append(rest, d)
+			}
+		}
+		s.deferred = rest
+	}
+	for _, resp := range resps {
+		if err := s.route(resp, now); err != nil {
+			return s.errf(InvariantProtocol, resp.Domain, err, "response routing failed")
+		}
 	}
 	s.now++
+	return s.checkProgress(len(resps) > 0)
 }
 
-func (s *System) route(resp mem.Response, now uint64) {
-	if sh, ok := s.shapers[resp.Domain]; ok {
-		if sh.OnResponse(resp, now) {
-			s.coreFor(resp.Domain).OnResponse(resp, now)
+// checkProgress enforces the deadlock invariant: with pending work, some
+// instruction must retire or some response must be delivered within the
+// stall budget.
+func (s *System) checkProgress(delivered bool) error {
+	if s.wd.StallBudget == 0 {
+		return nil
+	}
+	var retired uint64
+	for _, c := range s.cores {
+		retired += c.Stats().Instructions
+	}
+	if delivered || retired != s.lastRetired {
+		s.lastProgress = s.now
+		s.lastRetired = retired
+		return nil
+	}
+	if s.now-s.lastProgress <= s.wd.StallBudget {
+		return nil
+	}
+	if s.idle() {
+		// Nothing pending anywhere (e.g. all finite traces retired):
+		// quiescence, not deadlock.
+		s.lastProgress = s.now
+		return nil
+	}
+	detail := fmt.Sprintf("no instruction retired and no response delivered for %d cycles", s.now-s.lastProgress)
+	if at, ok := s.ctrl.NextCompletion(); ok {
+		detail += fmt.Sprintf("; earliest in-flight completion at cycle %d", at)
+	}
+	return s.errf(InvariantDeadlock, 0, nil, "%s", detail)
+}
+
+// idle reports whether the machine has genuinely nothing left to do.
+func (s *System) idle() bool {
+	if !s.ctrl.Idle() || len(s.deferred) > 0 {
+		return false
+	}
+	for _, q := range s.egress {
+		if len(q) > 0 {
+			return false
 		}
-		return
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) route(resp mem.Response, now uint64) error {
+	if sh, ok := s.shapers[resp.Domain]; ok {
+		deliver, err := sh.OnResponse(resp, now)
+		if err != nil {
+			return err
+		}
+		if deliver {
+			return s.coreFor(resp.Domain).OnResponse(resp, now)
+		}
+		return nil
 	}
 	if sh, ok := s.camos[resp.Domain]; ok {
 		if sh.OnResponse(resp, now) {
-			s.coreFor(resp.Domain).OnResponse(resp, now)
+			return s.coreFor(resp.Domain).OnResponse(resp, now)
 		}
-		return
+		return nil
 	}
-	s.coreFor(resp.Domain).OnResponse(resp, now)
+	return s.coreFor(resp.Domain).OnResponse(resp, now)
 }
 
 func (s *System) coreFor(d mem.Domain) *cpu.Core {
 	return s.cores[int(d)-1]
 }
 
-// Run advances the machine by the given number of cycles.
+// Run advances the machine by the given number of cycles, panicking on an
+// invariant violation (the legacy unchecked contract).
 func (s *System) Run(cycles uint64) {
 	end := s.now + cycles
 	for s.now < end {
 		s.Tick()
 	}
 }
+
+// RunChecked advances the machine by the given number of cycles with the
+// forward-progress watchdog armed, returning a structured *SimError the
+// moment an invariant fails (instead of panicking or spinning forever). If
+// no watchdog was configured with SetWatchdog, DefaultWatchdog is used.
+func (s *System) RunChecked(cycles uint64) error {
+	restore := s.armWatchdog()
+	defer restore()
+	end := s.now + cycles
+	for s.now < end {
+		if err := s.tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// armWatchdog installs the default watchdog if none is configured and
+// returns a func restoring the previous state.
+func (s *System) armWatchdog() func() {
+	prev := s.wd
+	if s.wd == (Watchdog{}) {
+		s.wd = DefaultWatchdog()
+		s.lastProgress = s.now
+	}
+	return func() { s.wd = prev }
+}
+
+// SetWatchdog configures the forward-progress invariants for the Checked
+// APIs. Fields left zero disable the corresponding check.
+func (s *System) SetWatchdog(w Watchdog) {
+	s.wd = w
+	s.lastProgress = s.now
+	var retired uint64
+	for _, c := range s.cores {
+		retired += c.Stats().Instructions
+	}
+	s.lastRetired = retired
+}
+
+// AttachFaults wires a deterministic fault schedule into the machine: DRAM
+// stall windows are registered with the device model, and the remaining
+// fault kinds are consulted cycle by cycle during tick. Attach faults once,
+// before running; the same schedule attached to two systems produces
+// bit-identical fault sequences.
+func (s *System) AttachFaults(sched fault.Schedule) error {
+	in, err := fault.NewInjector(sched)
+	if err != nil {
+		return err
+	}
+	s.faults = in
+	for _, w := range in.StallWindows() {
+		s.dev.InjectStallWindow(w.Start, w.End())
+	}
+	return nil
+}
+
+// EnableEgressTrace starts recording every shaper emission as an
+// EgressEvent per protected domain. Enable it before running; tracing is
+// the observation side of the non-interference-under-faults argument.
+func (s *System) EnableEgressTrace() {
+	s.traceOn = true
+	if s.traces == nil {
+		s.traces = make(map[mem.Domain][]EgressEvent)
+	}
+}
+
+// EgressTrace returns the recorded shaped-egress timing trace of the
+// domain (nil when tracing is off or the domain is unshaped).
+func (s *System) EgressTrace(d mem.Domain) []EgressEvent { return s.traces[d] }
 
 // Now returns the current cycle.
 func (s *System) Now() uint64 { return s.now }
@@ -346,6 +606,11 @@ type Result struct {
 	RowMisses     uint64
 	RowConflicts  uint64
 	QueueMaxDepth int
+	// EgressDepths holds each shaped domain's egress queue high-water
+	// mark since the system started; EgressMaxDepth is their maximum.
+	// The watchdog's livelock invariant bounds these online.
+	EgressDepths  map[mem.Domain]int
+	EgressMaxDepth int
 }
 
 type snapshot struct {
@@ -381,11 +646,43 @@ func (s *System) snap() snapshot {
 }
 
 // Measure runs warmup cycles (discarded) then a measurement window and
-// returns per-core IPC and bandwidth over that window.
+// returns per-core IPC and bandwidth over that window. It panics on an
+// invariant violation; use MeasureChecked for the structured-error form.
 func (s *System) Measure(warmup, window uint64) Result {
-	s.Run(warmup)
+	res, err := s.measure(warmup, window, false)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MeasureChecked is Measure with the forward-progress watchdog armed: it
+// returns a *SimError (and the zero Result) the moment an invariant fails
+// during warmup or measurement.
+func (s *System) MeasureChecked(warmup, window uint64) (Result, error) {
+	return s.measure(warmup, window, true)
+}
+
+func (s *System) measure(warmup, window uint64, checked bool) (Result, error) {
+	run := func(cycles uint64) error {
+		if checked {
+			return s.RunChecked(cycles)
+		}
+		end := s.now + cycles
+		for s.now < end {
+			if err := s.tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(warmup); err != nil {
+		return Result{}, err
+	}
 	before := s.snap()
-	s.Run(window)
+	if err := run(window); err != nil {
+		return Result{}, err
+	}
 	after := s.snap()
 
 	cycles := after.cycle - before.cycle
@@ -409,5 +706,14 @@ func (s *System) Measure(warmup, window uint64) Result {
 	res.TotalGBps = toGBps(after.total - before.total)
 	res.RowHits, res.RowMisses, res.RowConflicts, _ = s.dev.Stats()
 	res.QueueMaxDepth = s.ctrl.Stats().MaxQueueLen
-	return res
+	if len(s.egressHW) > 0 {
+		res.EgressDepths = make(map[mem.Domain]int, len(s.egressHW))
+		for d, hw := range s.egressHW {
+			res.EgressDepths[d] = hw
+			if hw > res.EgressMaxDepth {
+				res.EgressMaxDepth = hw
+			}
+		}
+	}
+	return res, nil
 }
