@@ -16,6 +16,7 @@
 //	dagchaos -campaigns 50 -seed 7    # longer sweep from base seed 7
 //	dagchaos -scheme dagguise         # one scheme only
 //	dagchaos -cycles 200000           # longer runs
+//	dagchaos -fail-trace fail.json    # Perfetto postmortem of the first failure
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"dagguise/internal/config"
 	"dagguise/internal/fault"
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 	"dagguise/internal/sim"
 	"dagguise/internal/trace"
 	"dagguise/internal/victim"
@@ -52,7 +54,28 @@ func main() {
 	events := flag.Int("events", 12, "fault events per campaign")
 	schemeFlag := flag.String("scheme", "all", "scheme to torture: all, insecure, fs, fs-bta, tp, camouflage, dagguise")
 	app := flag.String("app", "lbm", "co-runner workload")
+	metrics := flag.Bool("metrics", false, "print the per-domain observability metrics table after the sweep")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of all campaigns to this path")
+	failTrace := flag.String("fail-trace", "", "dump a Perfetto-viewable event trace of the first failing seed to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagchaos: pprof at http://%s/debug/pprof/\n", addr)
+	}
+	var mx *obs.Registry
+	var tr *obs.Tracer
+	if *metrics {
+		mx = obs.NewRegistry(3) // two cores + the system-wide slot
+	}
+	if *traceOut != "" {
+		tr = obs.NewTracer(0)
+	}
 
 	if *schemeFlag != "all" {
 		known := false
@@ -85,9 +108,12 @@ func main() {
 				MaxStorm: 4_000,
 				Events:   *events,
 			})
-			if err := runCampaign(sc.scheme, *app, sched, *cycles); err != nil {
+			if err := runCampaign(sc.scheme, *app, sched, *cycles, mx, tr); err != nil {
 				failures++
 				fmt.Printf("FAIL  %-10s seed=%-6d %v\n", sc.name, seed, err)
+				if *failTrace != "" && failures == 1 {
+					dumpFailTrace(*failTrace, sc.scheme, *app, sched, *cycles)
+				}
 				continue
 			}
 			line := fmt.Sprintf("ok    %-10s seed=%-6d %d events", sc.name, seed, len(sched.Events))
@@ -95,12 +121,26 @@ func main() {
 				if err := checkNonInterference(*app, sched, *cycles); err != nil {
 					failures++
 					fmt.Printf("FAIL  %-10s seed=%-6d non-interference: %v\n", sc.name, seed, err)
+					if *failTrace != "" && failures == 1 {
+						dumpFailTrace(*failTrace, sc.scheme, *app, sched, *cycles)
+					}
 					continue
 				}
 				line += "  egress traces secret-independent"
 			}
 			fmt.Println(line)
 		}
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(obs.FormatSummary(mx.Snapshot(), 0))
+	}
+	if tr != nil {
+		if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagchaos: wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dagchaos: %d campaign(s) failed\n", failures)
@@ -127,16 +167,36 @@ func build(scheme config.Scheme, app string, secret int64) (*sim.System, error) 
 }
 
 // runCampaign attaches the schedule and runs with the default watchdog;
-// any SimError comes back as the campaign verdict.
-func runCampaign(scheme config.Scheme, app string, sched fault.Schedule, cycles uint64) error {
+// any SimError comes back as the campaign verdict. mx and tr (either may
+// be nil) collect observability across campaigns.
+func runCampaign(scheme config.Scheme, app string, sched fault.Schedule, cycles uint64, mx *obs.Registry, tr *obs.Tracer) error {
 	sys, err := build(scheme, app, 11)
 	if err != nil {
 		return err
+	}
+	if mx != nil || tr != nil {
+		sys.Observe(mx, tr)
 	}
 	if err := sys.AttachFaults(sched); err != nil {
 		return err
 	}
 	return sys.RunChecked(cycles)
+}
+
+// dumpFailTrace replays a failing campaign with an event tracer attached
+// and exports the postmortem as Chrome trace-event JSON: the violation
+// marker sits at the end of the Perfetto timeline, with the bank, shaper
+// and refresh activity leading up to it.
+func dumpFailTrace(path string, scheme config.Scheme, app string, sched fault.Schedule, cycles uint64) {
+	tr := obs.NewTracer(0)
+	if err := runCampaign(scheme, app, sched, cycles, nil, tr); err == nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: replay of failing seed did not fail; writing trace anyway")
+	}
+	if err := obs.WriteChromeTraceFile(path, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: fail-trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dagchaos: wrote failure postmortem (%d events) to %s (open in https://ui.perfetto.dev)\n", tr.Len(), path)
 }
 
 // checkNonInterference runs the same fault schedule against two victims

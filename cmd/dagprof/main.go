@@ -12,17 +12,66 @@ import (
 	"sort"
 
 	"dagguise/internal/eval"
+	"dagguise/internal/obs"
+	"dagguise/internal/sim"
 )
 
 func main() {
 	warmup := flag.Uint64("warmup", 100_000, "warmup cycles per candidate")
 	window := flag.Uint64("window", 1_600_000, "measurement cycles per candidate")
+	metrics := flag.Bool("metrics", false, "print the per-domain observability metrics table after the sweep")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	interval := flag.Duration("metrics-interval", 0, "print periodic metric delta snapshots to stderr (e.g. 10s)")
 	flag.Parse()
 
-	res, err := eval.Figure7(eval.Options{Warmup: *warmup, Window: *window})
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagprof: pprof at http://%s/debug/pprof/\n", addr)
+	}
+
+	opts := eval.Options{Warmup: *warmup, Window: *window}
+	var mx *obs.Registry
+	var tr *obs.Tracer
+	var simCycles uint64
+	if *metrics || *interval > 0 {
+		mx = obs.NewRegistry(2) // profiling runs the victim alone: domains 0 and 1
+	}
+	if *traceOut != "" {
+		tr = obs.NewTracer(0)
+	}
+	if mx != nil || tr != nil {
+		opts.Attach = func(sys *sim.System) {
+			simCycles += *warmup + *window
+			sys.Observe(mx, tr)
+		}
+	}
+	if *interval > 0 {
+		stop := obs.StartIntervalDump(os.Stderr, mx, *interval)
+		defer stop()
+	}
+
+	res, err := eval.Figure7(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagprof:", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		defer func() {
+			fmt.Println()
+			fmt.Print(obs.FormatSummary(mx.Snapshot(), simCycles))
+		}()
+	}
+	if tr != nil {
+		if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "dagprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagprof: wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 
 	fmt.Printf("Figure 7: defense rDAG selection for DocDist (baseline IPC %.3f)\n\n", res.BaselineIPC)

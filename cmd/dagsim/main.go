@@ -8,6 +8,9 @@
 //	dagsim -cores 2                 # Figure 9 over all 15 co-runners
 //	dagsim -cores 8 -apps lbm,xz    # Figure 10 on a subset
 //	dagsim -cores 2 -window 200000  # shorter measurement window
+//	dagsim -metrics                 # append the per-domain metrics table
+//	dagsim -trace-out run.json      # export a Perfetto-loadable event trace
+//	dagsim -pprof localhost:6060    # live pprof endpoints while it runs
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"strings"
 
 	"dagguise/internal/eval"
+	"dagguise/internal/obs"
+	"dagguise/internal/sim"
 )
 
 func main() {
@@ -24,12 +29,57 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated co-runner subset (default: all 15)")
 	warmup := flag.Uint64("warmup", eval.DefaultOptions().Warmup, "warmup cycles per run")
 	window := flag.Uint64("window", eval.DefaultOptions().Window, "measurement cycles per run")
+	metrics := flag.Bool("metrics", false, "print the per-domain observability metrics table after the experiment")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this path")
+	traceCap := flag.Int("trace-cap", obs.DefaultTraceCap, "event trace ring capacity")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	interval := flag.Duration("metrics-interval", 0, "print periodic metric delta snapshots to stderr (e.g. 10s)")
 	flag.Parse()
 
 	opts := eval.Options{Warmup: *warmup, Window: *window}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dagsim: pprof at http://%s/debug/pprof/\n", addr)
+	}
+
+	var mx *obs.Registry
+	var tr *obs.Tracer
+	var simCycles uint64
+	if *metrics || *interval > 0 {
+		mx = obs.NewRegistry(*cores + 1)
+	}
+	if *traceOut != "" {
+		tr = obs.NewTracer(*traceCap)
+	}
+	if mx != nil || tr != nil {
+		opts.Attach = func(sys *sim.System) {
+			simCycles += *warmup + *window
+			sys.Observe(mx, tr)
+		}
+	}
+	if *interval > 0 {
+		stop := obs.StartIntervalDump(os.Stderr, mx, *interval)
+		defer stop()
+	}
+	defer func() {
+		if *metrics {
+			fmt.Println()
+			fmt.Print(obs.FormatSummary(mx.Snapshot(), simCycles))
+		}
+		if tr != nil {
+			if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dagsim: wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", tr.Len(), *traceOut)
+		}
+	}()
 
 	switch *cores {
 	case 2:

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 	"dagguise/internal/shaper"
 )
 
@@ -75,6 +76,10 @@ type Shaper struct {
 	started  bool
 	stats    Stats
 
+	// Observability (nil = off); measurement only.
+	mx *obs.Registry
+	tr *obs.Tracer
+
 	rows    uint64
 	columns int
 	banks   int
@@ -105,6 +110,13 @@ func New(domain mem.Domain, dist Distribution, mapper *mem.Mapper, capacity int,
 // Domain returns the protected domain.
 func (s *Shaper) Domain() mem.Domain { return s.domain }
 
+// Observe attaches an observability registry and tracer (either may be
+// nil). Measurement only: shaping decisions never consult them.
+func (s *Shaper) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	s.mx = mx
+	s.tr = tr
+}
+
 // Full reports whether the private queue is at capacity.
 func (s *Shaper) Full() bool { return len(s.queue) >= s.capacity }
 
@@ -120,6 +132,7 @@ func (s *Shaper) Enqueue(req mem.Request, now uint64) (bool, error) {
 	}
 	if len(s.queue) >= s.capacity {
 		s.stats.Rejected++
+		s.mx.Inc(obs.CtrShaperRejected, int(s.domain))
 		return false, nil
 	}
 	s.queue = append(s.queue, req)
@@ -153,6 +166,7 @@ func (s *Shaper) pickInterval(havePending bool) uint64 {
 
 // Tick returns the requests to inject this cycle.
 func (s *Shaper) Tick(now uint64) []mem.Request {
+	s.mx.Observe(obs.HistShaperQueue, int(s.domain), uint64(len(s.queue)))
 	if !s.started {
 		s.started = true
 		s.nextAt = now + s.pickInterval(len(s.queue) > 0)
@@ -166,6 +180,8 @@ func (s *Shaper) Tick(now uint64) []mem.Request {
 		req = s.queue[0]
 		s.queue = s.queue[1:]
 		s.stats.Forwarded++
+		s.mx.Inc(obs.CtrShaperForwarded, int(s.domain))
+		s.tr.Emit(obs.Event{Cycle: now, Comp: obs.CompShaper, Kind: obs.EvReal, Index: int32(s.domain), Domain: int32(s.domain)})
 	} else {
 		req = mem.Request{
 			ID:     s.alloc(),
@@ -175,6 +191,8 @@ func (s *Shaper) Tick(now uint64) []mem.Request {
 			Fake:   true,
 		}
 		s.stats.Fakes++
+		s.mx.Inc(obs.CtrShaperFakes, int(s.domain))
+		s.tr.Emit(obs.Event{Cycle: now, Comp: obs.CompShaper, Kind: obs.EvFake, Index: int32(s.domain), Domain: int32(s.domain)})
 	}
 	req.Issue = now
 	s.lastEmit = now

@@ -13,6 +13,7 @@ import (
 	"dagguise/internal/cache"
 	"dagguise/internal/config"
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 	"dagguise/internal/trace"
 )
 
@@ -90,6 +91,9 @@ type Core struct {
 
 	exhausted bool
 	stats     Stats
+
+	// Observability (nil = off); measurement only.
+	mx *obs.Registry
 }
 
 // New builds a core for the domain reading ops from src through the given
@@ -111,6 +115,10 @@ func New(domain mem.Domain, src trace.Source, hier *cache.Hierarchy, cfg config.
 
 // Domain returns the core's security domain.
 func (c *Core) Domain() mem.Domain { return c.domain }
+
+// Observe attaches an observability registry (nil = off). Measurement
+// only: the core's timing never consults it.
+func (c *Core) Observe(mx *obs.Registry) { c.mx = mx }
 
 // Stats returns the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -137,6 +145,7 @@ func (c *Core) depSatisfied(s *slot) bool {
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
 	c.stats.Cycles++
+	c.mx.Observe(obs.HistMLP, int(c.domain), uint64(c.outstanding))
 	c.fill()
 	c.issue(now)
 	c.issuePrefetches(now)
@@ -313,6 +322,9 @@ func (c *Core) retire(now uint64) {
 	c.stats.Instructions += uint64(retired)
 	if retired == 0 {
 		c.stats.StallCycles++
+		c.mx.Inc(obs.CtrROBStallCycles, int(c.domain))
+	} else {
+		c.mx.Add(obs.CtrRetired, int(c.domain), uint64(retired))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"dagguise/internal/config"
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 )
 
 // Timing is config.DRAMTiming converted to CPU cycles.
@@ -115,6 +116,11 @@ type Device struct {
 	channels  []chanState
 	stalls    []stallWindow
 
+	// Observability (nil = off). Measurement only: never read during
+	// scheduling decisions.
+	mx *obs.Registry
+	tr *obs.Tracer
+
 	// Stats counters.
 	hits, misses, conflicts, refreshes uint64
 	stallHits                          uint64
@@ -140,6 +146,14 @@ func New(t config.DRAMTiming, mapper *mem.Mapper, closedRow bool) *Device {
 
 // ClosedRow reports whether the device auto-precharges after every access.
 func (d *Device) ClosedRow() bool { return d.closedRow }
+
+// Observe attaches an observability registry and tracer (either may be
+// nil). The device records refresh activity; transaction-level metrics
+// are attributed by the memory controller, which knows the domain.
+func (d *Device) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	d.mx = mx
+	d.tr = tr
+}
 
 // Timing returns the CPU-cycle timing set in use.
 func (d *Device) Timing() Timing { return d.t }
@@ -177,14 +191,17 @@ func max64(vals ...uint64) uint64 {
 // injected stall window. The catch-up is O(1) in the number of elapsed
 // refresh intervals, so a transaction displaced far into the future by an
 // injected storm (up to fault.Forever) is gated in constant time.
-func (d *Device) refreshGate(rk *rankState, at uint64) uint64 {
+func (d *Device) refreshGate(ri int, rk *rankState, at uint64) uint64 {
 	if at >= rk.nextRefresh {
 		k := (at-rk.nextRefresh)/d.t.REFI + 1
 		rk.refreshEnd = rk.nextRefresh + (k-1)*d.t.REFI + d.t.RFC
 		rk.nextRefresh += k * d.t.REFI
 		d.refreshes += k
+		d.mx.Add(obs.CtrRefreshes, 0, k)
 	}
 	if at < rk.refreshEnd {
+		d.mx.Add(obs.CtrRefreshStallCycles, 0, rk.refreshEnd-at)
+		d.tr.Emit(obs.Event{Cycle: at, Dur: rk.refreshEnd - at, Comp: obs.CompRank, Kind: obs.EvRefresh, Index: int32(ri)})
 		at = rk.refreshEnd
 	}
 	return d.stallGate(at)
@@ -252,14 +269,15 @@ func (d *Device) recordAct(rk *rankState, at uint64) {
 func (d *Device) Service(c mem.Coord, k mem.Kind, now uint64) Result {
 	t := &d.t
 	bank := &d.banks[d.mapper.FlatBank(c)]
-	rank := &d.ranks[d.rankIndex(c)]
+	ri := d.rankIndex(c)
+	rank := &d.ranks[ri]
 	ch := &d.channels[c.Channel]
 
 	start := now
 	if bank.busyUntil > start {
 		start = bank.busyUntil
 	}
-	start = d.refreshGate(rank, start)
+	start = d.refreshGate(ri, rank, start)
 
 	var outcome Outcome
 	var colCmd uint64 // cycle the RD/WR column command issues

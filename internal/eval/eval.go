@@ -27,6 +27,10 @@ type Options struct {
 	Window uint64
 	// Apps restricts Figure 9 to a subset of SPEC profiles (nil = all).
 	Apps []string
+	// Attach, when non-nil, is called on every freshly built system before
+	// it runs — the hook the CLIs use to wire a shared observability
+	// registry and tracer across an experiment's many simulations.
+	Attach func(*sim.System)
 }
 
 // DefaultOptions returns windows long enough for stable IPCs: the window
@@ -119,6 +123,9 @@ func runSystem(scheme config.Scheme, specs []sim.CoreSpec, opts Options) (Scheme
 	if err != nil {
 		return SchemeIPCs{}, err
 	}
+	if opts.Attach != nil {
+		opts.Attach(sys)
+	}
 	res := sys.Measure(opts.Warmup, opts.Window)
 	out := SchemeIPCs{TotalGBps: res.TotalGBps}
 	for _, c := range res.Cores {
@@ -206,8 +213,12 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		fsAvgs = append(fsAvgs, row.FSBTAAvg)
 		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
 	}
-	res.FSBTAGeomean = stats.Geomean(fsAvgs)
-	res.DAGguiseGeomean = stats.Geomean(dagAvgs)
+	if res.FSBTAGeomean, err = stats.Geomean(fsAvgs); err != nil {
+		return nil, err
+	}
+	if res.DAGguiseGeomean, err = stats.Geomean(dagAvgs); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -322,8 +333,12 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		fsAvgs = append(fsAvgs, row.FSBTAAvg)
 		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
 	}
-	res.FSBTAGeomean = stats.Geomean(fsAvgs)
-	res.DAGguiseGeomean = stats.Geomean(dagAvgs)
+	if res.FSBTAGeomean, err = stats.Geomean(fsAvgs); err != nil {
+		return nil, err
+	}
+	if res.DAGguiseGeomean, err = stats.Geomean(dagAvgs); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -340,6 +355,7 @@ func Figure7(opts Options) (*profile.Result, error) {
 	space := rdag.DefaultSpace(8)
 	return profile.Sweep(mk, space, profile.Options{
 		Warmup: opts.Warmup, Window: opts.Window, KneeFraction: 0.85,
+		Attach: opts.Attach,
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"dagguise/internal/dram"
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 )
 
 // Entry is a queued transaction together with its decoded DRAM coordinate.
@@ -80,6 +81,13 @@ type Controller struct {
 	stats     Stats
 	byDomain  map[mem.Domain]uint64 // real bytes served per domain
 	lineSize  uint64
+
+	// Observability (nil = off). The controller attributes per-domain
+	// DRAM metrics because it is the last point that knows the request's
+	// security domain. Measurement only: never consulted by Pick/issue.
+	mx    *obs.Registry
+	tr    *obs.Tracer
+	burst uint64 // cached data-burst length for bus accounting
 }
 
 // New builds a controller over the device with the given scheduling policy
@@ -107,6 +115,15 @@ func New(dev *dram.Device, mapper *mem.Mapper, sched Scheduler, capacity int) *C
 func (c *Controller) PartitionQueue(perDomain int) {
 	c.domainCap = perDomain
 	c.perDomain = make(map[mem.Domain]int)
+}
+
+// Observe attaches an observability registry and tracer (either may be
+// nil) to the controller and its device.
+func (c *Controller) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	c.mx = mx
+	c.tr = tr
+	c.burst = c.dev.Timing().Burst
+	c.dev.Observe(mx, tr)
 }
 
 // Device returns the underlying DRAM model.
@@ -168,6 +185,7 @@ func (c *Controller) bankFree(e Entry) bool {
 // commit at most one transaction to the device and returns all responses
 // that complete at or before now.
 func (c *Controller) Tick(now uint64) []mem.Response {
+	c.mx.Observe(obs.HistQueueDepth, 0, uint64(len(c.queue)))
 	if len(c.queue) > 0 {
 		idx := c.sched.Pick(c.queue, now, c.dev)
 		if idx >= 0 {
@@ -202,6 +220,9 @@ func (c *Controller) issue(idx int, now uint64) {
 			c.stats.TotalQueueing += res.Start - e.Req.Arrival
 		}
 	}
+	if c.mx != nil || c.tr != nil {
+		c.record(e, idx, res, fb)
+	}
 	heap.Push(&c.inflight, completion{
 		at: res.DataDone,
 		resp: mem.Response{
@@ -209,6 +230,62 @@ func (c *Controller) issue(idx int, now uint64) {
 			Domain: e.Req.Domain, Fake: e.Req.Fake, Completion: res.DataDone,
 		},
 	})
+}
+
+// record mirrors one issued transaction into the observability layer:
+// per-domain row-buffer outcome, issue mix, bus/bank occupancy and
+// latency histograms, plus bank- and channel-lane trace events. Called
+// only when a registry or tracer is attached.
+func (c *Controller) record(e Entry, idx int, res dram.Result, fb int) {
+	dom := int(e.Req.Domain)
+	c.mx.Inc(obs.CtrSchedPicks, 0)
+	if idx > 0 {
+		c.mx.Inc(obs.CtrSchedReorders, 0)
+	}
+	var kind obs.EventKind
+	switch res.Outcome {
+	case dram.RowHit:
+		c.mx.Inc(obs.CtrRowHits, dom)
+		kind = obs.EvRowHit
+	case dram.RowMiss:
+		c.mx.Inc(obs.CtrRowMisses, dom)
+		kind = obs.EvRowMiss
+	default:
+		c.mx.Inc(obs.CtrRowConflicts, dom)
+		c.mx.Inc(obs.CtrPrecharges, dom)
+		kind = obs.EvRowConflict
+	}
+	if c.dev.ClosedRow() {
+		c.mx.Inc(obs.CtrPrecharges, dom)
+	}
+	switch {
+	case e.Req.Fake:
+		c.mx.Inc(obs.CtrIssuedFakes, dom)
+	case e.Req.Kind == mem.Write:
+		c.mx.Inc(obs.CtrIssuedWrites, dom)
+	default:
+		c.mx.Inc(obs.CtrIssuedReads, dom)
+	}
+	c.mx.Add(obs.CtrBusBusyCycles, dom, c.burst)
+	c.mx.Add(obs.CtrBankBusyCycles, dom, res.DataDone-res.Start)
+	if !e.Req.Fake {
+		c.mx.Observe(obs.HistReqLatency, dom, res.DataDone-e.Req.Arrival)
+		if res.Start > e.Req.Arrival {
+			c.mx.Observe(obs.HistQueueWait, dom, res.Start-e.Req.Arrival)
+		} else {
+			c.mx.Observe(obs.HistQueueWait, dom, 0)
+		}
+	}
+	if c.tr != nil {
+		c.tr.Emit(obs.Event{
+			Cycle: res.Start, Dur: res.DataDone - res.Start,
+			Comp: obs.CompBank, Kind: kind, Index: int32(fb), Domain: int32(dom),
+		})
+		c.tr.Emit(obs.Event{
+			Cycle: res.DataDone - c.burst, Dur: c.burst,
+			Comp: obs.CompChannel, Kind: obs.EvBurst, Index: int32(e.Coord.Channel), Domain: int32(dom),
+		})
+	}
 }
 
 func (c *Controller) drain(now uint64) []mem.Response {

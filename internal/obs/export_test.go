@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticEvents is a tiny two-domain scenario: a shaper emission per
+// domain, the resulting bank activity and bursts, one refresh window and an
+// instant stall marker.
+func syntheticEvents() []Event {
+	return []Event{
+		{Cycle: 10, Comp: CompShaper, Kind: EvReal, Index: 1, Domain: 1},
+		{Cycle: 12, Dur: 46, Comp: CompBank, Kind: EvRowMiss, Index: 3, Domain: 1},
+		{Cycle: 54, Dur: 4, Comp: CompChannel, Kind: EvBurst, Index: 0, Domain: 1},
+		{Cycle: 20, Comp: CompShaper, Kind: EvFake, Index: 2, Domain: 2},
+		{Cycle: 22, Dur: 20, Comp: CompBank, Kind: EvRowHit, Index: 5, Domain: 2},
+		{Cycle: 38, Dur: 4, Comp: CompChannel, Kind: EvBurst, Index: 0, Domain: 2},
+		{Cycle: 60, Dur: 160, Comp: CompRank, Kind: EvRefresh, Index: 0},
+		{Cycle: 75, Comp: CompSystem, Kind: EvEgressStall, Index: 1, Domain: 1},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run ChromeTraceGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// chromeTrace mirrors the subset of the Chrome trace-event schema the
+// exporter writes, for structural validation.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string `json:"ph"`
+		Name string `json:"name"`
+		Cat  string `json:"cat"`
+		TS   uint64 `json:"ts"`
+		Dur  uint64 `json:"dur"`
+		Pid  int32  `json:"pid"`
+		Tid  int32  `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete, instant, meta int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 5 || instant != 3 {
+		t.Fatalf("event mix X=%d i=%d, want 5/3", complete, instant)
+	}
+	// One process_name per component present plus one thread_name per lane.
+	if meta == 0 {
+		t.Fatal("no metadata records")
+	}
+	// Empty event slices still produce a loadable document.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	r := NewRegistry(2)
+	r.Add(CtrRowHits, 1, 80)
+	r.Add(CtrRowMisses, 1, 15)
+	r.Add(CtrRowConflicts, 1, 5)
+	r.Add(CtrIssuedReads, 1, 90)
+	r.Add(CtrIssuedFakes, 1, 10)
+	r.Add(CtrBusBusyCycles, 1, 400)
+	r.Add(CtrShaperForwarded, 1, 90)
+	r.Inc(CtrSchedPicks, 0)
+	for i := 0; i < 10; i++ {
+		r.Observe(HistShaperQueue, 1, uint64(i%5))
+	}
+	out := FormatSummary(r.Snapshot(), 1000)
+	for _, want := range []string{
+		"row-hits", "80.0%", "shaper_queue_occupancy", "bus-util", "40.0%", "sched picks 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWriteChromeTrace checks the exporter emits valid JSON for arbitrary
+// event field values (hostile component/kind codes, extreme cycles and
+// negative lane indices included).
+func FuzzWriteChromeTrace(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0), uint8(0), int32(0), int32(0))
+	f.Add(uint64(1<<40), uint64(7), uint8(250), uint8(250), int32(-3), int32(99))
+	f.Fuzz(func(t *testing.T, cycle, dur uint64, comp, kind uint8, index, domain int32) {
+		events := []Event{
+			{Cycle: cycle, Dur: dur, Comp: Component(comp), Kind: EventKind(kind), Index: index, Domain: domain},
+			{Cycle: cycle + 1, Comp: CompBank, Kind: EvRowHit, Index: index},
+		}
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, events); err != nil {
+			t.Fatalf("export failed: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON for events %+v:\n%s", events, buf.Bytes())
+		}
+	})
+}

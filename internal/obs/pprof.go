@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"time"
+)
+
+// ServePprof starts an HTTP server on addr (e.g. "localhost:6060")
+// exposing the standard net/http/pprof endpoints, so long sweeps can be
+// profiled live (`go tool pprof http://localhost:6060/debug/pprof/profile`).
+// It returns the bound address; the server runs until the process exits.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// StartIntervalDump launches a goroutine that, every interval, writes a
+// one-line delta summary of the registry's headline counters to w. It
+// returns a stop function. Safe with a live simulation thread: snapshots
+// use atomic loads.
+func StartIntervalDump(w io.Writer, r *Registry, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		prev := r.Snapshot()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				cur := r.Snapshot()
+				d := cur.Sub(prev)
+				prev = cur
+				fmt.Fprintf(w, "[obs] +%s: issued %d (fakes %d) row h/m/c %d/%d/%d retired %d rob-stalls %d\n",
+					interval,
+					d.CounterTotal(CtrIssuedReads)+d.CounterTotal(CtrIssuedWrites),
+					d.CounterTotal(CtrIssuedFakes),
+					d.CounterTotal(CtrRowHits), d.CounterTotal(CtrRowMisses), d.CounterTotal(CtrRowConflicts),
+					d.CounterTotal(CtrRetired), d.CounterTotal(CtrROBStallCycles))
+			}
+		}
+	}()
+	return func() { close(done) }
+}

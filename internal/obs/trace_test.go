@@ -1,0 +1,60 @@
+package obs
+
+import "testing"
+
+func TestTracerRingOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Cycle: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Cycle != 0 || evs[2].Cycle != 2 {
+		t.Fatalf("pre-wrap events = %+v", evs)
+	}
+	for i := 3; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i)})
+	}
+	evs = tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (oldest-first order)", i, ev.Cycle, want)
+		}
+	}
+	if tr.Overwritten() != 6 {
+		t.Fatalf("overwritten = %d, want 6", tr.Overwritten())
+	}
+	if tr.Cap() != 4 {
+		t.Fatalf("cap = %d", tr.Cap())
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Emit(Event{Cycle: 1})
+	tr.Emit(Event{Cycle: 2})
+	tr.Emit(Event{Cycle: 3})
+	tr.Reset()
+	if tr.Len() != 0 || tr.Overwritten() != 0 {
+		t.Fatalf("reset left len=%d overwritten=%d", tr.Len(), tr.Overwritten())
+	}
+	tr.Emit(Event{Cycle: 9})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Cycle != 9 {
+		t.Fatalf("post-reset events = %+v", evs)
+	}
+	if tr.Cap() != 2 {
+		t.Fatal("reset changed capacity")
+	}
+}
+
+func TestTracerDefaultCap(t *testing.T) {
+	if got := NewTracer(0).Cap(); got != DefaultTraceCap {
+		t.Fatalf("default cap = %d, want %d", got, DefaultTraceCap)
+	}
+	if got := NewTracer(-5).Cap(); got != DefaultTraceCap {
+		t.Fatalf("negative cap = %d, want %d", got, DefaultTraceCap)
+	}
+}

@@ -49,6 +49,9 @@ type Options struct {
 	// KneeFraction selects the cheapest candidate achieving at least
 	// this fraction of the best shaped IPC (default 0.9).
 	KneeFraction float64
+	// Attach, when non-nil, is called on every candidate's freshly built
+	// system before it runs (observability wiring).
+	Attach func(*sim.System)
 }
 
 // DefaultOptions returns sweep lengths adequate for the bundled victims.
@@ -111,6 +114,9 @@ func runOnce(src trace.Source, scheme config.Scheme, tpl rdag.Template, opts Opt
 	}})
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if opts.Attach != nil {
+		opts.Attach(sys)
 	}
 	return sys.Measure(opts.Warmup, opts.Window), nil
 }

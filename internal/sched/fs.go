@@ -13,6 +13,7 @@ import (
 	"dagguise/internal/dram"
 	"dagguise/internal/mem"
 	"dagguise/internal/memctrl"
+	"dagguise/internal/obs"
 )
 
 // Group is a set of domains that share scheduling slots. Each protected
@@ -53,6 +54,7 @@ type FixedService struct {
 	curSlot uint64
 	issued  bool
 	stats   Stats
+	mx      *obs.Registry // observability (nil = off); measurement only
 }
 
 // Stats counts slot usage for utilisation reporting.
@@ -138,6 +140,10 @@ func (f *FixedService) Name() string {
 // Stats returns slot usage counters.
 func (f *FixedService) Stats() Stats { return f.stats }
 
+// Observe attaches an observability registry (nil = off); slot usage is
+// mirrored there under the system-wide domain 0.
+func (f *FixedService) Observe(mx *obs.Registry) { f.mx = mx }
+
 // slotBlockedByRefresh reports whether a transaction issued at slotStart
 // could overlap a refresh window. The refresh schedule is periodic and
 // input-independent, so skipping is identical for all domains.
@@ -171,6 +177,7 @@ func (f *FixedService) Pick(q []memctrl.Entry, now uint64, dev *dram.Device) int
 		return -1
 	}
 	f.stats.SlotsSeen++
+	f.mx.Inc(obs.CtrSlotsSeen, 0)
 	if f.slotBlockedByRefresh(now) {
 		return -1
 	}
@@ -189,9 +196,11 @@ func (f *FixedService) Pick(q []memctrl.Entry, now uint64, dev *dram.Device) int
 		}
 		f.issued = true
 		f.stats.SlotsUsed++
+		f.mx.Inc(obs.CtrSlotsUsed, 0)
 		return i
 	}
 	f.stats.SlotsWasted++
+	f.mx.Inc(obs.CtrSlotsWasted, 0)
 	return -1
 }
 

@@ -6,6 +6,7 @@ import (
 	"dagguise/internal/config"
 	"dagguise/internal/dram"
 	"dagguise/internal/memctrl"
+	"dagguise/internal/obs"
 )
 
 // TemporalPartitioning implements coarse time-sliced partitioning (Wang et
@@ -20,6 +21,7 @@ type TemporalPartitioning struct {
 	dead   uint64 // no-issue window at the end of each turn
 	inner  memctrl.FRFCFS
 	stats  Stats
+	mx     *obs.Registry // observability (nil = off); measurement only
 
 	refi, rfc uint64 // refresh guard, as in FixedService
 }
@@ -73,6 +75,10 @@ func (tp *TemporalPartitioning) Name() string { return "tp" }
 // Stats returns turn usage counters (SlotsSeen counts issue opportunities).
 func (tp *TemporalPartitioning) Stats() Stats { return tp.stats }
 
+// Observe attaches an observability registry (nil = off); turn usage is
+// mirrored there under the system-wide domain 0.
+func (tp *TemporalPartitioning) Observe(mx *obs.Registry) { tp.mx = mx }
+
 // Pick implements memctrl.Scheduler.
 func (tp *TemporalPartitioning) Pick(q []memctrl.Entry, now uint64, dev *dram.Device) int {
 	pos := now % tp.turn
@@ -87,6 +93,7 @@ func (tp *TemporalPartitioning) Pick(q []memctrl.Entry, now uint64, dev *dram.De
 	idx := filtered.Pick(q, now, dev)
 	if idx >= 0 {
 		tp.stats.SlotsUsed++
+		tp.mx.Inc(obs.CtrSlotsUsed, 0)
 	}
 	return idx
 }

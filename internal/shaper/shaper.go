@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 	"dagguise/internal/rdag"
 )
 
@@ -61,6 +62,13 @@ type Shaper struct {
 	tokens map[uint64]int // emitted request ID -> driver token
 	stats  Stats
 
+	// Observability (nil = off). emitAt tracks emission cycles per
+	// request ID for the rDAG node-wait histogram; it is only populated
+	// while a registry is attached.
+	mx     *obs.Registry
+	tr     *obs.Tracer
+	emitAt map[uint64]uint64
+
 	rows    uint64
 	columns int
 
@@ -98,6 +106,17 @@ func New(domain mem.Domain, driver rdag.Driver, mapper *mem.Mapper, capacity int
 // Domain returns the protected security domain.
 func (s *Shaper) Domain() mem.Domain { return s.domain }
 
+// Observe attaches an observability registry and tracer (either may be
+// nil). Measurement only: the shaping decisions never consult them, so
+// the emitted stream is bit-identical with and without observability.
+func (s *Shaper) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	s.mx = mx
+	s.tr = tr
+	if mx != nil && s.emitAt == nil {
+		s.emitAt = make(map[uint64]uint64)
+	}
+}
+
 // Driver returns the defense-rDAG driver in use.
 func (s *Shaper) Driver() rdag.Driver { return s.driver }
 
@@ -119,6 +138,7 @@ func (s *Shaper) Enqueue(req mem.Request, now uint64) (bool, error) {
 	}
 	if len(s.queue) >= s.capacity {
 		s.stats.Rejected++
+		s.mx.Inc(obs.CtrShaperRejected, int(s.domain))
 		return false, nil
 	}
 	bank := s.mapper.FlatBank(s.mapper.Decode(req.Addr))
@@ -133,6 +153,7 @@ func (s *Shaper) Enqueue(req mem.Request, now uint64) (bool, error) {
 // Tick polls the defense rDAG and returns the requests (real or fake) to
 // forward to the global transaction queue this cycle.
 func (s *Shaper) Tick(now uint64) []mem.Request {
+	s.mx.Observe(obs.HistShaperQueue, int(s.domain), uint64(len(s.queue)))
 	slots := s.driver.Poll(now)
 	if len(slots) == 0 {
 		return nil
@@ -143,9 +164,16 @@ func (s *Shaper) Tick(now uint64) []mem.Request {
 		if !real {
 			req = s.fake(slot, now)
 			s.stats.Fakes++
+			s.mx.Inc(obs.CtrShaperFakes, int(s.domain))
+			s.tr.Emit(obs.Event{Cycle: now, Comp: obs.CompShaper, Kind: obs.EvFake, Index: int32(s.domain), Domain: int32(s.domain)})
 		} else {
 			s.stats.Forwarded++
 			s.stats.DelaySum += now - req.Issue
+			s.mx.Inc(obs.CtrShaperForwarded, int(s.domain))
+			s.tr.Emit(obs.Event{Cycle: now, Comp: obs.CompShaper, Kind: obs.EvReal, Index: int32(s.domain), Domain: int32(s.domain)})
+		}
+		if s.mx != nil {
+			s.emitAt[req.ID] = now
 		}
 		s.lastRow[slot.Bank] = s.mapper.Decode(req.Addr).Row
 		req.Issue = now
@@ -253,6 +281,12 @@ func (s *Shaper) OnResponse(resp mem.Response, now uint64) (bool, error) {
 	}
 	delete(s.tokens, resp.ID)
 	s.driver.Complete(token, now)
+	if s.mx != nil {
+		if at, ok := s.emitAt[resp.ID]; ok {
+			delete(s.emitAt, resp.ID)
+			s.mx.Observe(obs.HistNodeWait, int(s.domain), now-at)
+		}
+	}
 	return !resp.Fake, nil
 }
 
@@ -271,6 +305,9 @@ func (s *Shaper) Reset() {
 	s.tokens = make(map[uint64]int)
 	s.lastRow = make(map[int]uint64)
 	s.stats = Stats{}
+	if s.emitAt != nil {
+		s.emitAt = make(map[uint64]uint64)
+	}
 	s.driver.Reset()
 }
 

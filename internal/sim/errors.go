@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dagguise/internal/mem"
+	"dagguise/internal/obs"
 )
 
 // Invariant names a forward-progress or protocol invariant the watchdog
@@ -108,8 +109,11 @@ func DefaultWatchdog() Watchdog {
 	return Watchdog{StallBudget: 50_000, EgressHighWater: 4096}
 }
 
-// errf builds a SimError with the current queue snapshots attached.
+// errf builds a SimError with the current queue snapshots attached, and
+// marks the violation in the event trace so a postmortem trace shows where
+// the run died.
 func (s *System) errf(inv Invariant, dom mem.Domain, cause error, format string, args ...interface{}) *SimError {
+	s.tr.Emit(obs.Event{Cycle: s.now, Comp: obs.CompSystem, Kind: obs.EvViolation, Domain: int32(dom)})
 	egress := make(map[mem.Domain]int, len(s.egress))
 	for d, q := range s.egress {
 		if len(q) > 0 {

@@ -17,6 +17,7 @@ import (
 	"dagguise/internal/fault"
 	"dagguise/internal/mem"
 	"dagguise/internal/memctrl"
+	"dagguise/internal/obs"
 	"dagguise/internal/rdag"
 	"dagguise/internal/sched"
 	"dagguise/internal/shaper"
@@ -53,6 +54,7 @@ type System struct {
 	mapper *mem.Mapper
 	dev    *dram.Device
 	ctrl   *memctrl.Controller
+	policy memctrl.Scheduler
 	cores  []*cpu.Core
 	specs  []CoreSpec
 
@@ -73,6 +75,11 @@ type System struct {
 
 	traceOn bool
 	traces  map[mem.Domain][]EgressEvent
+
+	// Observability (nil = off); measurement only, never consulted by the
+	// simulated machine (see TestObservabilityNonInterference).
+	mx *obs.Registry
+	tr *obs.Tracer
 
 	now    uint64
 	nextID uint64
@@ -147,6 +154,7 @@ func New(cfg config.SystemConfig, specs []CoreSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.policy = policy
 	// Every scheme partitions the transaction queue per domain: real
 	// controllers give each source its own read queue/credits, and a
 	// shared queue lets one streaming core monopolise entries and starve
@@ -357,11 +365,23 @@ func (s *System) tick() error {
 			}
 		}
 		q := append(s.egress[dom], emitted...)
+		// The high-water mark records peak staging occupancy, so it must be
+		// sampled before the drain: post-drain the queue is empty whenever
+		// the controller keeps up, and the mark would stay zero on every
+		// healthy run.
+		if len(q) > s.egressHW[dom] {
+			s.egressHW[dom] = len(q)
+		}
+		s.mx.Observe(obs.HistEgressQueue, int(dom), uint64(len(q)))
 		// Drain into the controller through an index cursor and compact
 		// with copy: the former q = q[1:] loop kept the consumed prefix
 		// of the backing array reachable forever.
 		n := 0
-		if s.faults == nil || !s.faults.EgressStalled(dom, now) {
+		stalled := s.faults != nil && s.faults.EgressStalled(dom, now)
+		if stalled && len(q) > 0 {
+			s.tr.Emit(obs.Event{Cycle: now, Comp: obs.CompSystem, Kind: obs.EvEgressStall, Index: int32(dom), Domain: int32(dom)})
+		}
+		if !stalled {
 			for n < len(q) && s.ctrl.Enqueue(q[n], now) {
 				n++
 			}
@@ -371,9 +391,6 @@ func (s *System) tick() error {
 			q = q[:rest]
 		}
 		s.egress[dom] = q
-		if len(q) > s.egressHW[dom] {
-			s.egressHW[dom] = len(q)
-		}
 		if s.wd.EgressHighWater > 0 && len(q) > s.wd.EgressHighWater {
 			return s.errf(InvariantLivelock, dom, nil,
 				"egress queue depth %d exceeds high-water mark %d", len(q), s.wd.EgressHighWater)
@@ -567,6 +584,36 @@ func (s *System) EnableEgressTrace() {
 // domain (nil when tracing is off or the domain is unshaped).
 func (s *System) EgressTrace(d mem.Domain) []EgressEvent { return s.traces[d] }
 
+// NumDomains returns the number of observability domain slots this system
+// needs: one per core plus the system-wide slot 0.
+func (s *System) NumDomains() int { return len(s.cores) + 1 }
+
+// Observe attaches an observability registry and tracer (either may be
+// nil) and threads them through every component: the memory controller and
+// DRAM device, each shaper, each core and (when the scheme has one) the
+// secure arbiter. Collection is measurement-only — no component's timing
+// decision ever reads back from the registry or tracer — so the simulated
+// machine behaves bit-identically with observability on or off.
+func (s *System) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	s.mx = mx
+	s.tr = tr
+	s.ctrl.Observe(mx, tr)
+	for _, dom := range s.order {
+		if sh, ok := s.shapers[dom]; ok {
+			sh.Observe(mx, tr)
+		}
+		if sh, ok := s.camos[dom]; ok {
+			sh.Observe(mx, tr)
+		}
+	}
+	for _, c := range s.cores {
+		c.Observe(mx)
+	}
+	if so, ok := s.policy.(interface{ Observe(*obs.Registry) }); ok {
+		so.Observe(mx)
+	}
+}
+
 // Now returns the current cycle.
 func (s *System) Now() uint64 { return s.now }
 
@@ -609,8 +656,11 @@ type Result struct {
 	// EgressDepths holds each shaped domain's egress queue high-water
 	// mark since the system started; EgressMaxDepth is their maximum.
 	// The watchdog's livelock invariant bounds these online.
-	EgressDepths  map[mem.Domain]int
+	EgressDepths   map[mem.Domain]int
 	EgressMaxDepth int
+	// Metrics is the observability snapshot delta over the measurement
+	// window (nil unless a registry was attached with Observe).
+	Metrics *obs.Snapshot
 }
 
 type snapshot struct {
@@ -680,6 +730,7 @@ func (s *System) measure(warmup, window uint64, checked bool) (Result, error) {
 		return Result{}, err
 	}
 	before := s.snap()
+	mxBefore := s.mx.Snapshot()
 	if err := run(window); err != nil {
 		return Result{}, err
 	}
@@ -704,6 +755,9 @@ func (s *System) measure(warmup, window uint64, checked bool) (Result, error) {
 		})
 	}
 	res.TotalGBps = toGBps(after.total - before.total)
+	if s.mx != nil {
+		res.Metrics = s.mx.Snapshot().Sub(mxBefore)
+	}
 	res.RowHits, res.RowMisses, res.RowConflicts, _ = s.dev.Stats()
 	res.QueueMaxDepth = s.ctrl.Stats().MaxQueueLen
 	if len(s.egressHW) > 0 {

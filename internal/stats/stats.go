@@ -10,21 +10,34 @@ import (
 	"sort"
 )
 
+// NonPositiveError reports a Geomean input outside its domain: the
+// geometric mean is only defined over positive values.
+type NonPositiveError struct {
+	// Index is the offending position, Value the offending input.
+	Index int
+	Value float64
+}
+
+// Error implements error.
+func (e *NonPositiveError) Error() string {
+	return fmt.Sprintf("stats: geomean of non-positive value %f at index %d", e.Value, e.Index)
+}
+
 // Geomean returns the geometric mean of positive values (the aggregate the
-// paper uses for normalized IPC). It returns 0 for an empty slice and
-// panics on non-positive inputs.
-func Geomean(vals []float64) float64 {
+// paper uses for normalized IPC). It returns 0 for an empty slice and a
+// *NonPositiveError when any input is outside the function's domain.
+func Geomean(vals []float64) (float64, error) {
 	if len(vals) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, v := range vals {
+	for i, v := range vals {
 		if v <= 0 {
-			panic(fmt.Sprintf("stats: geomean of non-positive value %f", v))
+			return 0, &NonPositiveError{Index: i, Value: v}
 		}
 		sum += math.Log(v)
 	}
-	return math.Exp(sum / float64(len(vals)))
+	return math.Exp(sum / float64(len(vals))), nil
 }
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -46,12 +59,22 @@ type Histogram struct {
 	Total    uint64
 }
 
-// NewHistogram builds a histogram with the given bin width (minimum 1).
-func NewHistogram(binWidth uint64) *Histogram {
+// ZeroBinWidthError reports a histogram constructed with bin width 0,
+// which would divide by zero on the first Add.
+type ZeroBinWidthError struct{}
+
+// Error implements error.
+func (e *ZeroBinWidthError) Error() string {
+	return "stats: histogram bin width must be positive"
+}
+
+// NewHistogram builds a histogram with the given bin width. A zero bin
+// width is rejected with *ZeroBinWidthError rather than silently clamped.
+func NewHistogram(binWidth uint64) (*Histogram, error) {
 	if binWidth == 0 {
-		binWidth = 1
+		return nil, &ZeroBinWidthError{}
 	}
-	return &Histogram{BinWidth: binWidth, Counts: make(map[uint64]uint64)}
+	return &Histogram{BinWidth: binWidth, Counts: make(map[uint64]uint64)}, nil
 }
 
 // Add records a value.
@@ -87,8 +110,12 @@ func BinaryMI(obs0, obs1 []uint64, binWidth uint64) float64 {
 	if len(obs0) == 0 || len(obs1) == 0 {
 		return 0
 	}
-	h0 := NewHistogram(binWidth)
-	h1 := NewHistogram(binWidth)
+	if binWidth == 0 {
+		// MI over unbinned observations: each distinct value is its own bin.
+		binWidth = 1
+	}
+	h0, _ := NewHistogram(binWidth)
+	h1, _ := NewHistogram(binWidth)
 	for _, v := range obs0 {
 		h0.Add(v)
 	}

@@ -1,24 +1,28 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 )
 
 func TestGeomean(t *testing.T) {
-	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
-		t.Fatalf("geomean(2,8) = %f, want 4", got)
+	got, err := Geomean([]float64{2, 8})
+	if err != nil || math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %f, %v, want 4", got, err)
 	}
-	if Geomean(nil) != 0 {
-		t.Fatal("empty geomean should be 0")
+	if g, err := Geomean(nil); err != nil || g != 0 {
+		t.Fatalf("empty geomean = %f, %v, want 0", g, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on non-positive value")
-		}
-	}()
-	Geomean([]float64{1, 0})
+	_, err = Geomean([]float64{1, 0})
+	var npe *NonPositiveError
+	if !errors.As(err, &npe) {
+		t.Fatalf("expected *NonPositiveError on non-positive value, got %v", err)
+	}
+	if npe.Index != 1 || npe.Value != 0 {
+		t.Fatalf("error fields = %+v", npe)
+	}
 }
 
 func TestGeomeanAtMostMax(t *testing.T) {
@@ -34,8 +38,8 @@ func TestGeomeanAtMostMax(t *testing.T) {
 				max = vals[i]
 			}
 		}
-		g := Geomean(vals)
-		return g <= max+1e-9 && g > 0
+		g, err := Geomean(vals)
+		return err == nil && g <= max+1e-9 && g > 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -52,7 +56,10 @@ func TestMean(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(10)
+	h, err := NewHistogram(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range []uint64{5, 9, 15, 100} {
 		h.Add(v)
 	}
@@ -66,11 +73,14 @@ func TestHistogram(t *testing.T) {
 	if len(bins) != 3 || bins[0] != 0 || bins[2] != 10 {
 		t.Fatalf("bins = %v", bins)
 	}
-	empty := NewHistogram(0)
-	if empty.BinWidth != 1 {
-		t.Fatal("zero bin width not defaulted")
+	if _, err := NewHistogram(0); !errors.As(err, new(*ZeroBinWidthError)) {
+		t.Fatalf("zero bin width accepted: %v", err)
 	}
-	if empty.P(1) != 0 {
+	fresh, err := NewHistogram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.P(1) != 0 {
 		t.Fatal("empty histogram P != 0")
 	}
 }
