@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dagguise/internal/audit"
 	"dagguise/internal/camouflage"
 	"dagguise/internal/config"
 	"dagguise/internal/dram"
 	"dagguise/internal/mem"
 	"dagguise/internal/memctrl"
+	"dagguise/internal/obs"
 	"dagguise/internal/rdag"
 	"dagguise/internal/sched"
 	"dagguise/internal/shaper"
@@ -73,6 +75,7 @@ type Harness struct {
 	defense rdag.Template
 	dist    camouflage.Distribution
 	seed    int64
+	tap     *audit.Tap
 }
 
 const (
@@ -144,6 +147,25 @@ func NewHarness(scheme config.Scheme, defense rdag.Template, dist camouflage.Dis
 func (h *Harness) alloc() uint64 {
 	h.nextID++
 	return h.nextID
+}
+
+// SetAuditTap attaches a leakage-audit tap recording every attacker probe
+// as (completion cycle, latency). The tap is measurement-only — nothing in
+// the harness reads it back — and a nil tap keeps the hook a no-op, so the
+// probe sequence is bit-identical with auditing on and off.
+func (h *Harness) SetAuditTap(t *audit.Tap) { h.tap = t }
+
+// Observe attaches an observability registry and tracer (either may be
+// nil) to the harness's controller, DRAM device and shaper, mirroring
+// sim.System.Observe for the attack rig.
+func (h *Harness) Observe(mx *obs.Registry, tr *obs.Tracer) {
+	h.ctrl.Observe(mx, tr)
+	if h.dag != nil {
+		h.dag.Observe(mx, tr)
+	}
+	if h.camo != nil {
+		h.camo.Observe(mx, tr)
+	}
 }
 
 // victimEnqueue routes a victim request through the scheme's shaper (if
@@ -242,6 +264,7 @@ func (h *Harness) Run(victim Pattern, probe Probe, nProbes int, maxCycles uint64
 			case attackerDomain:
 				if resp.ID == aID {
 					latencies = append(latencies, now-aIssued)
+					h.tap.Record(now, now-aIssued)
 					aOutstanding = false
 					aNextAt = now + probe.Gap
 				}
@@ -270,10 +293,15 @@ func (h *Harness) Run(victim Pattern, probe Probe, nProbes int, maxCycles uint64
 	return latencies, nil
 }
 
+// LeakageBinWidth is the latency-histogram bin width (cycles) every MI
+// estimate of the leakage experiments uses, shared with the calibration in
+// internal/eval so thresholds and estimates bin identically.
+const LeakageBinWidth = 8
+
 // LeakageResult quantifies how distinguishable two victim secrets are.
 type LeakageResult struct {
 	// AggregateMI is the mutual information between the secret and the
-	// attacker's latency histogram (order-blind).
+	// attacker's latency histogram (order-blind), Miller–Madow corrected.
 	AggregateMI float64
 	// SequenceMI is the per-probe-position mutual information, which
 	// also captures ordering leaks (Figure 2).
@@ -281,12 +309,34 @@ type LeakageResult struct {
 	// Accuracy is a nearest-neighbour classifier's secret-guessing
 	// accuracy over held-out trials (0.5 = chance, 1.0 = broken).
 	Accuracy float64
+	// Raw0 / Raw1 are the pooled per-secret latency samples behind
+	// AggregateMI, kept so callers can calibrate thresholds (permutation
+	// testing) and attach confidence intervals (bootstrap) to the point
+	// estimates above.
+	Raw0, Raw1 []uint64
+	// Seq0 / Seq1 are the per-probe-position samples behind SequenceMI
+	// (position i holds one latency per trial), kept for the same reason.
+	Seq0, Seq1 [][]uint64
+}
+
+// MeasureOpts carries the optional knobs of MeasureLeakageOpts.
+type MeasureOpts struct {
+	// Attach, when non-nil, is called on every freshly built harness
+	// before it runs — the hook the CLIs use to wire a shared
+	// observability registry and tracer across an experiment's runs.
+	Attach func(*Harness)
 }
 
 // MeasureLeakage runs the two secret patterns for several trials each
 // (varying shaper seeds) and quantifies attacker-side distinguishability.
 func MeasureLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage.Distribution,
 	secret0, secret1 Pattern, probe Probe, probes, trials int) (LeakageResult, error) {
+	return MeasureLeakageOpts(scheme, defense, dist, secret0, secret1, probe, probes, trials, MeasureOpts{})
+}
+
+// MeasureLeakageOpts is MeasureLeakage with observability options.
+func MeasureLeakageOpts(scheme config.Scheme, defense rdag.Template, dist camouflage.Distribution,
+	secret0, secret1 Pattern, probe Probe, probes, trials int, opts MeasureOpts) (LeakageResult, error) {
 
 	if trials < 1 {
 		trials = 1
@@ -295,6 +345,9 @@ func MeasureLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage
 		h, err := NewHarness(scheme, defense, dist, seed)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Attach != nil {
+			opts.Attach(h)
 		}
 		return h.Run(p, probe, probes, 0)
 	}
@@ -326,10 +379,14 @@ func MeasureLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage
 			seq1[i] = append(seq1[i], all1[tr][i])
 		}
 	}
-	const binWidth = 8
+	const binWidth = LeakageBinWidth
 	res := LeakageResult{
 		AggregateMI: stats.BinaryMI(flat0, flat1, binWidth),
 		SequenceMI:  stats.SequenceMI(seq0, seq1, binWidth),
+		Raw0:        flat0,
+		Raw1:        flat1,
+		Seq0:        seq0,
+		Seq1:        seq1,
 	}
 	res.Accuracy = classifierAccuracy(all0, all1)
 	return res, nil

@@ -20,6 +20,12 @@ type Figure1Row struct {
 // victim is idle, hitting a different bank, the same bank and row, or the
 // same bank but a different row.
 func Figure1Primer(probes int) ([]Figure1Row, error) {
+	return Figure1PrimerObserved(probes, nil)
+}
+
+// Figure1PrimerObserved is Figure1Primer with an observability hook:
+// attach, when non-nil, is called on every harness before it runs.
+func Figure1PrimerObserved(probes int, attach func(*Harness)) ([]Figure1Row, error) {
 	probe := Probe{Bank: 0, Row: 0, Gap: 200}
 	scenarios := []struct {
 		name   string
@@ -36,6 +42,9 @@ func Figure1Primer(probes int) ([]Figure1Row, error) {
 		h, err := NewHarness(config.Insecure, rdag.Template{}, camouflage.Distribution{}, 1)
 		if err != nil {
 			return nil, err
+		}
+		if attach != nil {
+			attach(h)
 		}
 		victim := sc.victim
 		if sc.idle {

@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"dagguise/internal/audit"
+	"dagguise/internal/camouflage"
+	"dagguise/internal/config"
+	"dagguise/internal/rdag"
+)
+
+// AuditLeakage runs the two secret patterns under the scheme with audit
+// taps on the attacker's probe stream and drives the streaming auditor over
+// the paired samples in probe order: window by window, the auditor computes
+// calibrated secret-conditioned statistics and flags the first window whose
+// leakage exceeds cfg.Budget, together with its cycle range. Both runs use
+// cfg.Seed for their shaper, matching the attacker's strongest position
+// (identical defense randomness, only the secret differs).
+//
+// attach, when non-nil, is called on each harness before it runs (the
+// observability hook of cmd/dagaudit's -metrics / -trace-out flags).
+func AuditLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage.Distribution,
+	secret0, secret1 Pattern, probe Probe, probes int, cfg audit.Config,
+	attach func(*Harness)) (*audit.Report, error) {
+
+	auditor, err := audit.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run := func(p Pattern) (*audit.Tap, error) {
+		h, err := NewHarness(scheme, defense, dist, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tap := audit.NewTap()
+		h.SetAuditTap(tap)
+		if attach != nil {
+			attach(h)
+		}
+		if _, err := h.Run(p, probe, probes, 0); err != nil {
+			return nil, err
+		}
+		return tap, nil
+	}
+	tap0, err := run(secret0)
+	if err != nil {
+		return nil, err
+	}
+	tap1, err := run(secret1)
+	if err != nil {
+		return nil, err
+	}
+	// Replay the two tap streams through the auditor pairwise, the order
+	// an online deployment would see them; every window is audited the
+	// moment both streams cover it.
+	s0, s1 := tap0.Samples(), tap1.Samples()
+	for i := 0; i < len(s0) && i < len(s1); i++ {
+		if err := auditor.Push(0, s0[i]); err != nil {
+			return nil, err
+		}
+		if err := auditor.Push(1, s1[i]); err != nil {
+			return nil, err
+		}
+	}
+	return auditor.Report(scheme.String()), nil
+}

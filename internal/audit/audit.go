@@ -1,0 +1,401 @@
+// Package audit is the streaming leakage-audit layer: it taps the
+// attacker-observable response timing of a running simulation and computes
+// secret-conditioned statistics online, window by window, so the repo's
+// central security claim — that shaped egress carries no victim-dependent
+// timing information — is a continuously observable property rather than a
+// one-off offline table.
+//
+// The pipeline: probe hooks in internal/attack and internal/sim record
+// (cycle, value) samples into a Tap per secret run; an Auditor consumes the
+// two streams and, every Stride samples, evaluates a sliding window with
+// three detectors — Welch's t-test (TVLA-style first-order), the
+// Kolmogorov–Smirnov distance (distribution-free shape), and windowed
+// mutual information with Miller–Madow bias correction. Thresholds are
+// calibrated per window by permutation testing (so the false-positive rate
+// is Alpha by construction, not a hard-coded magic number), and the MI
+// point estimate carries a bootstrap confidence interval. The first window
+// whose calibrated, bias-corrected leakage exceeds the configured budget is
+// flagged with its cycle range, so the operator can jump straight to that
+// point in a Perfetto trace exported by internal/obs.
+//
+// Like internal/obs, the collection side is measurement-only and nil-safe:
+// every Tap method is a no-op on the nil pointer, and internal/sim's
+// non-interference test pins the shaped egress stream bit-identical with
+// auditing on and off.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"dagguise/internal/stats"
+)
+
+// Sample is one attacker-observable timing sample: the simulation cycle it
+// was observed at and its value (a probe response latency in the attack
+// harness, a response inter-arrival gap in the full-system tap).
+type Sample struct {
+	Cycle uint64 `json:"cycle"`
+	Value uint64 `json:"value"`
+}
+
+// Tap collects attacker-observable samples from a probe hook. Components
+// hold a possibly-nil *Tap and call Record unconditionally: every method is
+// a no-op on the nil receiver, so a disabled audit costs one predictable
+// nil check per observation site and nothing else.
+type Tap struct {
+	samples []Sample
+}
+
+// NewTap returns an empty tap.
+func NewTap() *Tap { return &Tap{} }
+
+// Record appends one sample. No-op on nil.
+func (t *Tap) Record(cycle, value uint64) {
+	if t == nil {
+		return
+	}
+	t.samples = append(t.samples, Sample{Cycle: cycle, Value: value})
+}
+
+// Samples returns the recorded samples in observation order (nil on nil).
+func (t *Tap) Samples() []Sample {
+	if t == nil {
+		return nil
+	}
+	return t.samples
+}
+
+// Len returns the number of recorded samples.
+func (t *Tap) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.samples)
+}
+
+// Reset discards the recorded samples.
+func (t *Tap) Reset() {
+	if t == nil {
+		return
+	}
+	t.samples = t.samples[:0]
+}
+
+// Config parameterises an Auditor.
+type Config struct {
+	// Window is the number of samples per secret evaluated together
+	// (must be at least 2; Welch's t needs a variance estimate).
+	Window int `json:"window"`
+	// Stride is the spacing between window starts; 0 selects Window
+	// (tumbling windows), smaller values overlap.
+	Stride int `json:"stride"`
+	// BinWidth is the MI histogram bin width (0 = every distinct value is
+	// its own bin).
+	BinWidth uint64 `json:"bin_width"`
+	// Budget is the leakage budget in bits: a window "exceeds" when a
+	// calibrated detector rejects the null AND its bias-corrected MI is
+	// above this budget.
+	Budget float64 `json:"budget_bits"`
+	// Alpha is the per-window false-positive rate the permutation
+	// calibration targets.
+	Alpha float64 `json:"alpha"`
+	// Permutations is the number of label shuffles per window used to
+	// estimate each detector's null distribution.
+	Permutations int `json:"permutations"`
+	// Bootstrap is the number of resamples behind the MI confidence
+	// interval.
+	Bootstrap int `json:"bootstrap"`
+	// Confidence is the CI level (e.g. 0.95).
+	Confidence float64 `json:"confidence"`
+	// Seed drives the permutation and bootstrap RNG; every window derives
+	// its own deterministic stream from it, so reports are reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultConfig returns the calibration defaults used by cmd/dagaudit and
+// the CI leakage gate.
+func DefaultConfig() Config {
+	return Config{
+		Window:       100,
+		Stride:       0, // = Window
+		BinWidth:     8,
+		Budget:       0.05,
+		Alpha:        0.01,
+		Permutations: 200,
+		Bootstrap:    200,
+		Confidence:   0.95,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Window < 2 {
+		return fmt.Errorf("audit: window %d too small (need >= 2)", c.Window)
+	}
+	if c.Stride < 0 {
+		return fmt.Errorf("audit: negative stride %d", c.Stride)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("audit: negative budget %f", c.Budget)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("audit: alpha %f outside (0, 1)", c.Alpha)
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("audit: confidence %f outside (0, 1)", c.Confidence)
+	}
+	if c.Permutations < 1 || c.Bootstrap < 1 {
+		return fmt.Errorf("audit: need at least one permutation and bootstrap resample")
+	}
+	return nil
+}
+
+// stride returns the effective window spacing.
+func (c Config) stride() int {
+	if c.Stride == 0 {
+		return c.Window
+	}
+	return c.Stride
+}
+
+// WindowReport is the audit outcome of one sliding window.
+type WindowReport struct {
+	// Index is the window's ordinal; Start its sample offset into each
+	// secret's stream.
+	Index int `json:"index"`
+	Start int `json:"start"`
+	// StartCycle / EndCycle bound the simulation cycles the window covers
+	// (across both secret runs) — the jump target for a Perfetto trace.
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	// T is the absolute Welch's t statistic and TThreshold its
+	// permutation-calibrated rejection threshold; likewise KS and MI.
+	T           float64 `json:"t"`
+	TThreshold  float64 `json:"t_threshold"`
+	KS          float64 `json:"ks"`
+	KSThreshold float64 `json:"ks_threshold"`
+	// MI is the Miller–Madow-corrected windowed mutual information in
+	// bits, with a percentile-bootstrap confidence interval [MILo, MIHi].
+	MI          float64 `json:"mi_bits"`
+	MILo        float64 `json:"mi_lo"`
+	MIHi        float64 `json:"mi_hi"`
+	MIThreshold float64 `json:"mi_threshold"`
+	// Detectors lists the calibrated detectors that rejected the
+	// no-leakage null on this window ("welch", "ks", "mi").
+	Detectors []string `json:"detectors,omitempty"`
+	// Exceeded marks the window as over the leakage budget: a detector
+	// fired and the corrected MI is above Config.Budget.
+	Exceeded bool `json:"exceeded"`
+}
+
+// Auditor consumes two secret-conditioned sample streams and audits every
+// full window as soon as both streams reach it. It is single-goroutine,
+// deterministic for a fixed Config, and never mutates the samples it is
+// fed — the simulation cannot observe it.
+type Auditor struct {
+	cfg     Config
+	streams [2][]Sample
+	next    int // start offset of the next unprocessed window
+	windows []WindowReport
+}
+
+// New builds an Auditor for the configuration.
+func New(cfg Config) (*Auditor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Auditor{cfg: cfg}, nil
+}
+
+// Push appends one sample observed under the given secret (0 or 1) and
+// processes any windows that became complete.
+func (a *Auditor) Push(secret int, s Sample) error {
+	if secret != 0 && secret != 1 {
+		return fmt.Errorf("audit: secret %d outside the binary channel", secret)
+	}
+	a.streams[secret] = append(a.streams[secret], s)
+	a.drain()
+	return nil
+}
+
+// PushTap feeds every sample of the tap under the given secret.
+func (a *Auditor) PushTap(secret int, t *Tap) error {
+	for _, s := range t.Samples() {
+		if err := a.Push(secret, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain audits every window both streams have fully covered.
+func (a *Auditor) drain() {
+	w := a.cfg.Window
+	for len(a.streams[0]) >= a.next+w && len(a.streams[1]) >= a.next+w {
+		a.audit(a.next)
+		a.next += a.cfg.stride()
+	}
+}
+
+// audit evaluates the window starting at sample offset start.
+func (a *Auditor) audit(start int) {
+	w := a.cfg.Window
+	win0 := a.streams[0][start : start+w]
+	win1 := a.streams[1][start : start+w]
+	v0 := make([]uint64, w)
+	v1 := make([]uint64, w)
+	for i := 0; i < w; i++ {
+		v0[i] = win0[i].Value
+		v1[i] = win1[i].Value
+	}
+
+	idx := len(a.windows)
+	rep := WindowReport{
+		Index:      idx,
+		Start:      start,
+		StartCycle: minCycle(win0, win1),
+		EndCycle:   maxCycle(win0, win1),
+		T:          stats.WelchT(v0, v1),
+		KS:         stats.KSDistance(v0, v1),
+	}
+	mi := func(x, y []uint64) float64 { return stats.BinaryMI(x, y, a.cfg.BinWidth) }
+	rep.MI = mi(v0, v1)
+
+	// Each window derives its own RNG stream from (Seed, window index), so
+	// the report is identical no matter how the pushes were interleaved.
+	rng := rand.New(rand.NewSource(a.cfg.Seed*1_000_003 + int64(idx)))
+	rep.TThreshold = PermutationThreshold(v0, v1, stats.WelchT, a.cfg.Permutations, a.cfg.Alpha, rng)
+	ks := func(x, y []uint64) float64 { return stats.KSDistance(x, y) }
+	rep.KSThreshold = PermutationThreshold(v0, v1, ks, a.cfg.Permutations, a.cfg.Alpha, rng)
+	rep.MIThreshold = PermutationThreshold(v0, v1, mi, a.cfg.Permutations, a.cfg.Alpha, rng)
+	rep.MILo, rep.MIHi = BootstrapCI(v0, v1, mi, a.cfg.Bootstrap, a.cfg.Confidence, rng)
+
+	if rep.T > rep.TThreshold {
+		rep.Detectors = append(rep.Detectors, "welch")
+	}
+	if rep.KS > rep.KSThreshold {
+		rep.Detectors = append(rep.Detectors, "ks")
+	}
+	if rep.MI > rep.MIThreshold {
+		rep.Detectors = append(rep.Detectors, "mi")
+	}
+	rep.Exceeded = len(rep.Detectors) > 0 && rep.MI > a.cfg.Budget
+	a.windows = append(a.windows, rep)
+}
+
+func minCycle(a, b []Sample) uint64 {
+	m := a[0].Cycle
+	if b[0].Cycle < m {
+		m = b[0].Cycle
+	}
+	return m
+}
+
+func maxCycle(a, b []Sample) uint64 {
+	m := a[len(a)-1].Cycle
+	if c := b[len(b)-1].Cycle; c > m {
+		m = c
+	}
+	return m
+}
+
+// Windows returns the audited windows so far.
+func (a *Auditor) Windows() []WindowReport { return a.windows }
+
+// Report is the full audit outcome: the input shape, every window's
+// statistics, and the budget verdict. Field order (and therefore the JSON
+// encoding) is fixed, and every number is deterministic for a fixed
+// Config, so reports are golden-testable and diffable across CI runs.
+type Report struct {
+	Scheme string `json:"scheme"`
+	Config Config `json:"config"`
+	// Samples counts the observations consumed per secret.
+	Samples [2]int         `json:"samples"`
+	Windows []WindowReport `json:"windows"`
+	// FirstExceeded is the index of the first window over budget (-1 if
+	// none); FirstExceededCycle is that window's StartCycle.
+	FirstExceeded      int    `json:"first_exceeded_window"`
+	FirstExceededCycle uint64 `json:"first_exceeded_cycle"`
+	// MaxMI is the largest corrected windowed MI observed.
+	MaxMI float64 `json:"max_mi_bits"`
+	// WithinBudget is the CI gate: true when no window exceeded.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// Report summarises everything audited so far under the given scheme name.
+func (a *Auditor) Report(scheme string) *Report {
+	r := &Report{
+		Scheme:        scheme,
+		Config:        a.cfg,
+		Samples:       [2]int{len(a.streams[0]), len(a.streams[1])},
+		Windows:       a.windows,
+		FirstExceeded: -1,
+		WithinBudget:  true,
+	}
+	for _, w := range a.windows {
+		if w.MI > r.MaxMI {
+			r.MaxMI = w.MI
+		}
+		if w.Exceeded && r.FirstExceeded < 0 {
+			r.FirstExceeded = w.Index
+			r.FirstExceededCycle = w.StartCycle
+			r.WithinBudget = false
+		}
+	}
+	return r
+}
+
+// JSON renders the report as stable, indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the report as an aligned text summary.
+func (r *Report) Format() string {
+	out := fmt.Sprintf("leakage audit: scheme=%s windows=%d window=%d stride=%d budget=%.3f bits alpha=%.3f\n",
+		r.Scheme, len(r.Windows), r.Config.Window, r.Config.stride(), r.Config.Budget, r.Config.Alpha)
+	out += fmt.Sprintf("%4s %12s %12s %10s %10s %10s %24s %s\n",
+		"win", "cycles", "t(thr)", "ks(thr)", "mi", "thr", "ci", "verdict")
+	for _, w := range r.Windows {
+		verdict := "ok"
+		if len(w.Detectors) > 0 {
+			verdict = "trip:" + joinDetectors(w.Detectors)
+		}
+		if w.Exceeded {
+			verdict = "LEAK " + joinDetectors(w.Detectors)
+		}
+		out += fmt.Sprintf("%4d %12s %6.1f(%4.1f) %5.3f(%.3f) %10.4f %10.4f %10.4f..%-10.4f %s\n",
+			w.Index, fmt.Sprintf("%d..%d", w.StartCycle, w.EndCycle),
+			clipT(w.T), clipT(w.TThreshold), w.KS, w.KSThreshold,
+			w.MI, w.MIThreshold, w.MILo, w.MIHi, verdict)
+	}
+	if r.WithinBudget {
+		out += fmt.Sprintf("result: within budget (max windowed MI %.4f <= %.4f bits)\n", r.MaxMI, r.Config.Budget)
+	} else {
+		out += fmt.Sprintf("result: LEAK — window %d exceeds the %.4f-bit budget starting at cycle %d (max windowed MI %.4f)\n",
+			r.FirstExceeded, r.Config.Budget, r.FirstExceededCycle, r.MaxMI)
+	}
+	return out
+}
+
+// clipT keeps the degenerate-variance t sentinel readable in text output.
+func clipT(t float64) float64 {
+	if t > 9999 {
+		return 9999
+	}
+	return t
+}
+
+func joinDetectors(ds []string) string {
+	out := ""
+	for i, d := range ds {
+		if i > 0 {
+			out += ","
+		}
+		out += d
+	}
+	return out
+}

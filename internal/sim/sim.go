@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"dagguise/internal/audit"
 	"dagguise/internal/cache"
 	"dagguise/internal/camouflage"
 	"dagguise/internal/config"
@@ -80,6 +81,12 @@ type System struct {
 	// simulated machine (see TestObservabilityNonInterference).
 	mx *obs.Registry
 	tr *obs.Tracer
+
+	// Leakage-audit taps per domain (nil map = off); like mx/tr they are
+	// write-only from the machine's perspective (see
+	// TestAuditTapNonInterference).
+	auditTaps map[mem.Domain]*audit.Tap
+	auditLast map[mem.Domain]uint64
 
 	now    uint64
 	nextID uint64
@@ -423,6 +430,14 @@ func (s *System) tick() error {
 		s.deferred = rest
 	}
 	for _, resp := range resps {
+		// Audit taps observe the controller's response stream — the
+		// externally visible completion timing, fake responses included —
+		// before any shaper filters it. Recording the inter-completion gap
+		// is measurement-only; the tap is never read back during a tick.
+		if tap, ok := s.auditTaps[resp.Domain]; ok {
+			tap.Record(now, now-s.auditLast[resp.Domain])
+			s.auditLast[resp.Domain] = now
+		}
 		if err := s.route(resp, now); err != nil {
 			return s.errf(InvariantProtocol, resp.Domain, err, "response routing failed")
 		}
@@ -612,6 +627,26 @@ func (s *System) Observe(mx *obs.Registry, tr *obs.Tracer) {
 	if so, ok := s.policy.(interface{ Observe(*obs.Registry) }); ok {
 		so.Observe(mx)
 	}
+}
+
+// AuditResponses attaches a leakage-audit tap to the domain: every
+// controller response for the domain is recorded as (completion cycle,
+// gap since the domain's previous completion) — the response-timing stream
+// an attacker on the shared channel can observe. The tap sees the stream
+// before shaper filtering, so fake responses are included; under DAGguise
+// the recorded stream is secret-independent by construction. A nil tap
+// detaches the domain. Measurement only: TestAuditTapNonInterference pins
+// the shaped egress bit-identical with auditing on and off.
+func (s *System) AuditResponses(d mem.Domain, t *audit.Tap) {
+	if s.auditTaps == nil {
+		s.auditTaps = make(map[mem.Domain]*audit.Tap)
+		s.auditLast = make(map[mem.Domain]uint64)
+	}
+	if t == nil {
+		delete(s.auditTaps, d)
+		return
+	}
+	s.auditTaps[d] = t
 }
 
 // Now returns the current cycle.

@@ -106,6 +106,16 @@ func (h *Histogram) Bins() []uint64 {
 // each secret value. This is the leakage metric of the security
 // comparison: a perfectly protected channel gives 0 bits; 1 bit means the
 // observation fully determines the secret.
+//
+// The plug-in estimator is positively biased on finite samples — two
+// sample sets drawn from the *same* distribution report spuriously
+// positive MI of roughly (bins-1)/(2N ln 2) bits — so the estimate is
+// Miller–Madow corrected: the entropy-bias terms of the marginal and
+// joint histograms cancel against each other, leaving the correction
+// (cells - bins - 1)/(2N ln 2) where cells counts the populated
+// (secret, bin) pairs. The result is clamped to [0, 1] (the entropy of a
+// binary secret bounds it from above; the correction can overshoot on
+// either side for tiny N).
 func BinaryMI(obs0, obs1 []uint64, binWidth uint64) float64 {
 	if len(obs0) == 0 || len(obs1) == 0 {
 		return 0
@@ -122,29 +132,116 @@ func BinaryMI(obs0, obs1 []uint64, binWidth uint64) float64 {
 	for _, v := range obs1 {
 		h1.Add(v)
 	}
-	bins := map[uint64]bool{}
+	// Iterate bins in sorted order so the floating-point summation order —
+	// and therefore the estimate's last ulp — is deterministic across runs
+	// (the audit layer golden-tests reports built from these values).
+	binSet := map[uint64]bool{}
 	for b := range h0.Counts {
-		bins[b] = true
+		binSet[b] = true
 	}
 	for b := range h1.Counts {
-		bins[b] = true
+		binSet[b] = true
 	}
+	bins := make([]uint64, 0, len(binSet))
+	for b := range binSet {
+		bins = append(bins, b)
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
 	mi := 0.0
-	for b := range bins {
+	cells := 0
+	for _, b := range bins {
 		p0 := float64(h0.Counts[b]) / float64(h0.Total)
 		p1 := float64(h1.Counts[b]) / float64(h1.Total)
 		pb := (p0 + p1) / 2
 		if p0 > 0 {
 			mi += 0.5 * p0 * math.Log2(p0/pb)
+			cells++
 		}
 		if p1 > 0 {
 			mi += 0.5 * p1 * math.Log2(p1/pb)
+			cells++
 		}
 	}
+	n := float64(h0.Total + h1.Total)
+	mi -= float64(cells-len(bins)-1) / (2 * n * math.Ln2)
 	if mi < 0 {
 		mi = 0
 	}
+	if mi > 1 {
+		mi = 1
+	}
 	return mi
+}
+
+// degenerateT is the value WelchT reports when both samples have zero
+// variance but different means: the statistic is infinite in the limit, and
+// a large finite sentinel keeps reports JSON-encodable and comparable.
+const degenerateT = 1e12
+
+// WelchT returns the absolute Welch's t statistic between two samples —
+// the TVLA-style first-order leakage detector. It needs at least two
+// samples on each side (returns 0 otherwise); when both samples are
+// constant it returns 0 for equal means and a large sentinel value for
+// distinct means.
+func WelchT(a, b []uint64) float64 {
+	if len(a) < 2 || len(b) < 2 {
+		return 0
+	}
+	meanVar := func(xs []uint64) (m, v float64) {
+		for _, x := range xs {
+			m += float64(x)
+		}
+		m /= float64(len(xs))
+		for _, x := range xs {
+			d := float64(x) - m
+			v += d * d
+		}
+		v /= float64(len(xs) - 1)
+		return m, v
+	}
+	m0, v0 := meanVar(a)
+	m1, v1 := meanVar(b)
+	se := v0/float64(len(a)) + v1/float64(len(b))
+	if se == 0 {
+		if m0 == m1 {
+			return 0
+		}
+		return degenerateT
+	}
+	return math.Abs(m0-m1) / math.Sqrt(se)
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic: the
+// supremum distance between the empirical CDFs of a and b, in [0, 1]. It
+// is distribution-free — sensitive to any difference in shape, not just the
+// mean shift WelchT detects — and returns 0 when either sample is empty.
+func KSDistance(a, b []uint64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]uint64(nil), a...)
+	sb := append([]uint64(nil), b...)
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+	na, nb := float64(len(sa)), float64(len(sb))
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d
 }
 
 // SequenceMI estimates per-position mutual information between the secret

@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -139,6 +140,169 @@ func TestSequenceMICatchesOrderingLeak(t *testing.T) {
 	}
 	if SequenceMI(nil, nil, 1) != 0 {
 		t.Fatal("empty sequence MI should be 0")
+	}
+}
+
+func TestBinaryMISameDistributionNearZero(t *testing.T) {
+	// Finite-sample regression for the Miller–Madow correction: two sample
+	// sets drawn from the same distribution must report ≈0 bits. The
+	// uncorrected plug-in estimator reports roughly (bins-1)/(2N ln 2)
+	// here — about 0.07 bits at N=200 over ~20 populated bins — which
+	// mislabelled secure schemes as leaky.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{100, 200, 400} {
+		draw := func() []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = 40 + uint64(rng.Intn(160))
+			}
+			return out
+		}
+		const trials = 30
+		avg := 0.0
+		for i := 0; i < trials; i++ {
+			avg += BinaryMI(draw(), draw(), 8)
+		}
+		avg /= trials
+		// ~20 populated bins over [40, 200) at width 8: the uncorrected
+		// estimator's expected bias. Averaging across trials isolates the
+		// bias from per-draw variance; the corrected average must sit well
+		// below it (clamping at 0 leaves a small positive residue).
+		bias := 19.0 / (2 * float64(2*n) * math.Ln2)
+		if avg > bias/2 {
+			t.Errorf("n=%d: same-distribution MI averages %f bits, above half the uncorrected bias %f", n, avg, bias)
+		}
+		if avg > 0.03 {
+			t.Errorf("n=%d: same-distribution MI averages %f bits, want ~0", n, avg)
+		}
+	}
+}
+
+func TestBinaryMICorrectionPreservesSignal(t *testing.T) {
+	// The bias correction must not erase a real difference: disjoint
+	// supports still report close to 1 bit.
+	rng := rand.New(rand.NewSource(8))
+	obs0 := make([]uint64, 100)
+	obs1 := make([]uint64, 100)
+	for i := range obs0 {
+		obs0[i] = 40 + uint64(rng.Intn(40))
+		obs1[i] = 400 + uint64(rng.Intn(40))
+	}
+	if mi := BinaryMI(obs0, obs1, 8); mi < 0.9 {
+		t.Fatalf("disjoint-support MI = %f, want ~1", mi)
+	}
+}
+
+func TestSequenceMIMismatchedLengths(t *testing.T) {
+	// Only the common prefix is compared: the extra position in seq0 must
+	// not contribute (it has no counterpart under the other secret).
+	seq0 := [][]uint64{{200}, {400}, {999}}
+	seq1 := [][]uint64{{200}, {400}}
+	if mi := SequenceMI(seq0, seq1, 10); mi != 0 {
+		t.Fatalf("common-prefix MI = %f, want 0", mi)
+	}
+	if mi := SequenceMI(seq1, seq0, 10); mi != 0 {
+		t.Fatalf("order of arguments changed the result: %f", mi)
+	}
+}
+
+func TestSequenceMIEmptyPositions(t *testing.T) {
+	// A position with no samples on one side carries no evidence and must
+	// average in as 0, not poison the estimate.
+	seq0 := [][]uint64{{}, {200}}
+	seq1 := [][]uint64{{100}, {400}}
+	mi := SequenceMI(seq0, seq1, 10)
+	if mi != 0.5 {
+		t.Fatalf("MI = %f, want 0.5 (one empty position, one fully leaking)", mi)
+	}
+}
+
+func TestBinaryMIZeroBinWidth(t *testing.T) {
+	// Bin width 0 means "unbinned": each distinct value is its own bin,
+	// equivalent to width 1, rather than a division by zero.
+	obs0 := []uint64{100, 100}
+	obs1 := []uint64{101, 101}
+	unbinned := BinaryMI(obs0, obs1, 0)
+	if width1 := BinaryMI(obs0, obs1, 1); unbinned != width1 {
+		t.Fatalf("unbinned MI %f != width-1 MI %f", unbinned, width1)
+	}
+	if math.Abs(unbinned-1) > 1e-9 {
+		t.Fatalf("adjacent distinct values unbinned MI = %f, want 1", unbinned)
+	}
+	if mi := SequenceMI([][]uint64{obs0}, [][]uint64{obs1}, 0); math.Abs(mi-1) > 1e-9 {
+		t.Fatalf("sequence MI with zero bin width = %f, want 1", mi)
+	}
+}
+
+func TestHistogramBinsDeterministicOrder(t *testing.T) {
+	// Bins must come back sorted ascending regardless of insertion order —
+	// downstream float summation order (and golden-tested reports) depend
+	// on it.
+	values := []uint64{970, 10, 450, 300, 880, 20, 660, 110, 555, 5}
+	for trial := 0; trial < 20; trial++ {
+		h, err := NewHistogram(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for _, i := range rng.Perm(len(values)) {
+			h.Add(values[i])
+		}
+		bins := h.Bins()
+		if len(bins) != 10 {
+			t.Fatalf("bins = %v", bins)
+		}
+		for i := 1; i < len(bins); i++ {
+			if bins[i-1] >= bins[i] {
+				t.Fatalf("trial %d: bins not strictly ascending: %v", trial, bins)
+			}
+		}
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	same := []uint64{10, 12, 11, 13, 10, 12}
+	if got := WelchT(same, same); got != 0 {
+		t.Fatalf("identical samples t = %f, want 0", got)
+	}
+	far := []uint64{500, 502, 501, 503, 500, 502}
+	if got := WelchT(same, far); got < 100 {
+		t.Fatalf("well-separated samples t = %f, want large", got)
+	}
+	if got := WelchT([]uint64{1}, far); got != 0 {
+		t.Fatalf("undersized sample t = %f, want 0", got)
+	}
+	// Zero variance on both sides: 0 for equal means, the large sentinel
+	// for distinct means (keeps reports finite and JSON-encodable).
+	if got := WelchT([]uint64{5, 5}, []uint64{5, 5}); got != 0 {
+		t.Fatalf("constant equal samples t = %f, want 0", got)
+	}
+	got := WelchT([]uint64{5, 5}, []uint64{9, 9})
+	if math.IsInf(got, 0) || math.IsNaN(got) || got < 1e6 {
+		t.Fatalf("constant distinct samples t = %f, want large finite sentinel", got)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	if got := KSDistance(a, a); got != 0 {
+		t.Fatalf("identical samples KS = %f, want 0", got)
+	}
+	disjoint := []uint64{100, 200, 300, 400}
+	if got := KSDistance(a, disjoint); got != 1 {
+		t.Fatalf("disjoint samples KS = %f, want 1", got)
+	}
+	if got := KSDistance(nil, a); got != 0 {
+		t.Fatalf("empty sample KS = %f, want 0", got)
+	}
+	// Half the mass shifted: sup CDF distance is 0.5, and the statistic is
+	// symmetric in its arguments.
+	b := []uint64{1, 2, 300, 400}
+	if got := KSDistance(a, b); got != 0.5 {
+		t.Fatalf("half-shifted KS = %f, want 0.5", got)
+	}
+	if KSDistance(a, b) != KSDistance(b, a) {
+		t.Fatal("KS distance not symmetric")
 	}
 }
 
