@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"dagguise/internal/config"
 	"dagguise/internal/eval"
 	"dagguise/internal/obs"
+	"dagguise/internal/runner"
 )
 
 func main() {
@@ -46,7 +49,16 @@ func main() {
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCap, "event trace ring capacity")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	interval := flag.Duration("metrics-interval", 0, "print periodic metric delta snapshots to stderr (e.g. 10s)")
+	timeout := flag.Duration("timeout", 0, "abort the audit after this long (0 = no deadline)")
 	flag.Parse()
+
+	ctx, cancel := runner.WithSignals(context.Background())
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
 
 	if *expect != "clean" && *expect != "leak" {
 		fmt.Fprintf(os.Stderr, "dagaudit: -expect must be clean or leak, got %q\n", *expect)
@@ -95,8 +107,12 @@ func main() {
 		defer stop()
 	}
 
-	rep, err := eval.Audit(scheme, *probes, cfg, attach)
+	rep, err := eval.AuditCtx(ctx, scheme, *probes, cfg, attach)
 	if err != nil {
+		if errors.Is(err, audit.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "dagaudit: interrupted:", err)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	fmt.Print(rep.Format())

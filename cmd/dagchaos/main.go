@@ -8,7 +8,14 @@
 //
 // For DAGguise it additionally checks non-interference under faults: two
 // runs differing only in the victim's secret must produce bit-identical
-// shaped egress timing traces under the identical fault schedule.
+// attacker-observable response timing streams under the identical fault
+// schedule.
+//
+// Campaigns run under the supervised runner (internal/runner): SIGINT,
+// SIGTERM or -timeout stop the sweep at a cycle boundary, checkpoint the
+// running job and persist a resume manifest; rerunning with -resume
+// continues exactly where the kill landed and produces byte-identical
+// results to an uninterrupted sweep.
 //
 // Usage:
 //
@@ -17,18 +24,30 @@
 //	dagchaos -scheme dagguise         # one scheme only
 //	dagchaos -cycles 200000           # longer runs
 //	dagchaos -fail-trace fail.json    # Perfetto postmortem of the first failure
+//	dagchaos -checkpoint-dir state -checkpoint-every 50000 -out results.json
+//	dagchaos -checkpoint-dir state -resume -out results.json   # after a kill
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"dagguise/internal/audit"
+	"dagguise/internal/ckpt"
 	"dagguise/internal/config"
 	"dagguise/internal/fault"
 	"dagguise/internal/mem"
 	"dagguise/internal/obs"
+	"dagguise/internal/runner"
 	"dagguise/internal/sim"
 	"dagguise/internal/trace"
 	"dagguise/internal/victim"
@@ -47,6 +66,29 @@ var schemes = []struct {
 	{"dagguise", config.DAGguise},
 }
 
+// jobMeta carries what the verdict printer and fail-trace replayer need to
+// know about each supervised job.
+type jobMeta struct {
+	schemeName string
+	scheme     config.Scheme
+	seed       int64
+	secret     int64
+	pair       string // twin job name for the non-interference compare
+	sched      fault.Schedule
+}
+
+// jobOutput is one job's deterministic result payload: state-derived only,
+// so an interrupted-and-resumed sweep reproduces it byte for byte.
+type jobOutput struct {
+	Scheme       string   `json:"scheme"`
+	Seed         int64    `json:"seed"`
+	Secret       int64    `json:"secret,omitempty"`
+	Cycle        uint64   `json:"cycle"`
+	Instructions []uint64 `json:"instructions"`
+	TapSamples   int      `json:"tap_samples,omitempty"`
+	TapSHA       string   `json:"tap_sha256,omitempty"`
+}
+
 func main() {
 	campaigns := flag.Int("campaigns", 10, "number of fault campaigns per scheme")
 	baseSeed := flag.Int64("seed", 1, "base campaign seed (campaign i uses seed+i)")
@@ -58,13 +100,18 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of all campaigns to this path")
 	failTrace := flag.String("fail-trace", "", "dump a Perfetto-viewable event trace of the first failing seed to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for checkpoints and the resume manifest (empty = no persistence)")
+	ckptEvery := flag.Uint64("checkpoint-every", 50_000, "auto-checkpoint cadence in cycles (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume a previously interrupted sweep from -checkpoint-dir")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the running job checkpoints and the sweep exits resumably")
+	retries := flag.Int("retries", 0, "supervised retries per job after a watchdog trip")
+	out := flag.String("out", "", "write the deterministic sweep results as JSON to this path")
 	flag.Parse()
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dagchaos:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dagchaos: pprof at http://%s/debug/pprof/\n", addr)
 	}
@@ -91,45 +138,53 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dagchaos: -resume needs -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" && !*resume {
+		if _, err := os.Stat(filepath.Join(*ckptDir, runner.ManifestName)); err == nil {
+			fmt.Fprintf(os.Stderr, "dagchaos: %s already holds a manifest; pass -resume to continue it or remove the directory\n", *ckptDir)
+			os.Exit(2)
+		}
+	}
 
-	failures := 0
-	for _, sc := range schemes {
-		if *schemeFlag != "all" && *schemeFlag != sc.name {
-			continue
+	jobs, metas := buildJobs(*schemeFlag, *campaigns, *baseSeed, *cycles, *events, *app, mx, tr)
+
+	ctx, stop := runner.WithSignals(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r := runner.New(runner.Config{
+		Dir:     *ckptDir,
+		Every:   *ckptEvery,
+		Retries: *retries,
+		Seed:    *baseSeed,
+		Log:     os.Stderr,
+	})
+	records, err := r.Run(ctx, jobs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "dagchaos: interrupted (%v); state saved, rerun with -checkpoint-dir %s -resume to continue\n", err, *ckptDir)
+			os.Exit(3)
 		}
-		for i := 0; i < *campaigns; i++ {
-			seed := *baseSeed + int64(i)
-			sched := fault.Campaign(seed, fault.CampaignConfig{
-				Horizon: *cycles,
-				Domains: []mem.Domain{1},
-				// Keep individual storms well under the default
-				// watchdog stall budget: a healthy machine must
-				// never be flagged, so every report is a finding.
-				MaxStorm: 4_000,
-				Events:   *events,
-			})
-			if err := runCampaign(sc.scheme, *app, sched, *cycles, mx, tr); err != nil {
-				failures++
-				fmt.Printf("FAIL  %-10s seed=%-6d %v\n", sc.name, seed, err)
-				if *failTrace != "" && failures == 1 {
-					dumpFailTrace(*failTrace, sc.scheme, *app, sched, *cycles)
-				}
-				continue
-			}
-			line := fmt.Sprintf("ok    %-10s seed=%-6d %d events", sc.name, seed, len(sched.Events))
-			if sc.scheme == config.DAGguise {
-				if err := checkNonInterference(*app, sched, *cycles); err != nil {
-					failures++
-					fmt.Printf("FAIL  %-10s seed=%-6d non-interference: %v\n", sc.name, seed, err)
-					if *failTrace != "" && failures == 1 {
-						dumpFailTrace(*failTrace, sc.scheme, *app, sched, *cycles)
-					}
-					continue
-				}
-				line += "  egress traces secret-independent"
-			}
-			fmt.Println(line)
+		fatal(err)
+	}
+
+	failures := report(records, metas, *cycles, *app, *failTrace)
+
+	if *out != "" {
+		data, err := resultsJSON(records, metas)
+		if err != nil {
+			fatal(err)
 		}
+		if err := ckpt.WriteFileAtomic(*out, data); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dagchaos: wrote results to %s\n", *out)
 	}
 	if *metrics {
 		fmt.Println()
@@ -137,8 +192,7 @@ func main() {
 	}
 	if tr != nil {
 		if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
-			fmt.Fprintln(os.Stderr, "dagchaos:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dagchaos: wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
@@ -146,6 +200,194 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dagchaos: %d campaign(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// buildJobs lays out the supervised job list: one job per (scheme, seed),
+// plus a secret-12 twin for every DAGguise campaign so non-interference is
+// checked from two independently checkpointable runs.
+func buildJobs(schemeFlag string, campaigns int, baseSeed int64, cycles uint64, events int, app string, mx *obs.Registry, tr *obs.Tracer) ([]runner.Job, map[string]jobMeta) {
+	var jobs []runner.Job
+	metas := make(map[string]jobMeta)
+	add := func(name string, m jobMeta) {
+		metas[name] = m
+		jobs = append(jobs, makeJob(name, m, cycles, app, mx, tr))
+	}
+	for _, sc := range schemes {
+		if schemeFlag != "all" && schemeFlag != sc.name {
+			continue
+		}
+		for i := 0; i < campaigns; i++ {
+			seed := baseSeed + int64(i)
+			sched := fault.Campaign(seed, fault.CampaignConfig{
+				Horizon: cycles,
+				Domains: []mem.Domain{1},
+				// Keep individual storms well under the default
+				// watchdog stall budget: a healthy machine must
+				// never be flagged, so every report is a finding.
+				MaxStorm: 4_000,
+				Events:   events,
+			})
+			name := fmt.Sprintf("%s-seed%d", sc.name, seed)
+			if sc.scheme == config.DAGguise {
+				alt := name + "-alt"
+				add(name, jobMeta{schemeName: sc.name, scheme: sc.scheme, seed: seed, secret: 11, pair: alt, sched: sched})
+				add(alt, jobMeta{schemeName: sc.name, scheme: sc.scheme, seed: seed, secret: 12, pair: name, sched: sched})
+			} else {
+				add(name, jobMeta{schemeName: sc.name, scheme: sc.scheme, seed: seed, secret: 11, sched: sched})
+			}
+		}
+	}
+	return jobs, metas
+}
+
+// makeJob wires one supervised job. The audit tap recording the
+// attacker-observable response stream is part of the checkpointed state,
+// so the digest in the result is identical whether or not the job was
+// interrupted and resumed.
+func makeJob(name string, m jobMeta, cycles uint64, app string, mx *obs.Registry, tr *obs.Tracer) runner.Job {
+	var tap *audit.Tap
+	withTap := m.scheme == config.DAGguise
+	return runner.Job{
+		Name:   name,
+		Cycles: cycles,
+		Build: func(int) (*sim.System, error) {
+			sys, err := build(m.scheme, app, m.secret)
+			if err != nil {
+				return nil, err
+			}
+			if mx != nil || tr != nil {
+				sys.Observe(mx, tr)
+			}
+			if err := sys.AttachFaults(m.sched); err != nil {
+				return nil, err
+			}
+			if withTap {
+				tap = audit.NewTap()
+				sys.AuditResponses(1, tap)
+			}
+			return sys, nil
+		},
+		Finish: func(sys *sim.System) (json.RawMessage, error) {
+			o := jobOutput{Scheme: m.schemeName, Seed: m.seed, Cycle: sys.Now()}
+			if withTap {
+				o.Secret = m.secret
+			}
+			st, err := sys.SaveState()
+			if err != nil {
+				return nil, err
+			}
+			for _, cs := range st.CoreStates {
+				o.Instructions = append(o.Instructions, cs.Stats.Instructions)
+			}
+			if withTap {
+				o.TapSamples = tap.Len()
+				o.TapSHA = tapDigest(tap)
+			}
+			return json.Marshal(o)
+		},
+	}
+}
+
+// tapDigest hashes the (cycle, value) response-timing stream.
+func tapDigest(t *audit.Tap) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, s := range t.Samples() {
+		binary.LittleEndian.PutUint64(buf[:8], s.Cycle)
+		binary.LittleEndian.PutUint64(buf[8:], s.Value)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// report prints the per-campaign verdicts and the DAGguise
+// non-interference comparisons, returning the failure count.
+func report(records []runner.JobRecord, metas map[string]jobMeta, cycles uint64, app, failTrace string) int {
+	byName := make(map[string]*runner.JobRecord, len(records))
+	for i := range records {
+		byName[records[i].Name] = &records[i]
+	}
+	failures := 0
+	dumped := false
+	for i := range records {
+		rec := &records[i]
+		m := metas[rec.Name]
+		if m.secret == 12 {
+			continue // reported with its twin
+		}
+		if rec.State == runner.StateFailed {
+			failures++
+			fmt.Printf("FAIL  %-10s seed=%-6d %s\n", m.schemeName, m.seed, rec.Error)
+			if failTrace != "" && !dumped {
+				dumpFailTrace(failTrace, m.scheme, app, m.sched, cycles)
+				dumped = true
+			}
+			continue
+		}
+		line := fmt.Sprintf("ok    %-10s seed=%-6d %d events", m.schemeName, m.seed, len(m.sched.Events))
+		if m.pair != "" {
+			twin := byName[m.pair]
+			switch {
+			case twin == nil || twin.State == runner.StateFailed:
+				failures++
+				fmt.Printf("FAIL  %-10s seed=%-6d twin run failed: %s\n", m.schemeName, m.seed, twinError(twin))
+				continue
+			default:
+				var a, b jobOutput
+				if err := json.Unmarshal(rec.Result, &a); err == nil {
+					_ = json.Unmarshal(twin.Result, &b)
+				}
+				if a.TapSamples == 0 || a.TapSHA != b.TapSHA {
+					failures++
+					fmt.Printf("FAIL  %-10s seed=%-6d non-interference: response streams diverge (%d vs %d samples)\n",
+						m.schemeName, m.seed, a.TapSamples, b.TapSamples)
+					if failTrace != "" && !dumped {
+						dumpFailTrace(failTrace, m.scheme, app, m.sched, cycles)
+						dumped = true
+					}
+					continue
+				}
+				line += "  response streams secret-independent"
+			}
+		}
+		fmt.Println(line)
+	}
+	return failures
+}
+
+func twinError(rec *runner.JobRecord) string {
+	if rec == nil {
+		return "missing"
+	}
+	return rec.Error
+}
+
+// resultsJSON renders the deterministic sweep outcome: job results in
+// campaign order, no attempt counts, no checkpoint names, no timestamps —
+// the byte-identical artifact the CI kill-and-resume job diffs.
+func resultsJSON(records []runner.JobRecord, metas map[string]jobMeta) ([]byte, error) {
+	type entry struct {
+		Name   string          `json:"name"`
+		State  runner.JobState `json:"state"`
+		Result json.RawMessage `json:"result,omitempty"`
+		Error  string          `json:"error,omitempty"`
+	}
+	out := struct {
+		Jobs []entry `json:"jobs"`
+	}{}
+	for _, rec := range records {
+		out.Jobs = append(out.Jobs, entry{Name: rec.Name, State: rec.State, Result: rec.Result, Error: rec.Error})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagchaos:", err)
+	os.Exit(1)
 }
 
 // build wires a two-core machine: a protected DocDist victim carrying the
@@ -166,30 +408,23 @@ func build(scheme config.Scheme, app string, secret int64) (*sim.System, error) 
 	})
 }
 
-// runCampaign attaches the schedule and runs with the default watchdog;
-// any SimError comes back as the campaign verdict. mx and tr (either may
-// be nil) collect observability across campaigns.
-func runCampaign(scheme config.Scheme, app string, sched fault.Schedule, cycles uint64, mx *obs.Registry, tr *obs.Tracer) error {
-	sys, err := build(scheme, app, 11)
-	if err != nil {
-		return err
-	}
-	if mx != nil || tr != nil {
-		sys.Observe(mx, tr)
-	}
-	if err := sys.AttachFaults(sched); err != nil {
-		return err
-	}
-	return sys.RunChecked(cycles)
-}
-
 // dumpFailTrace replays a failing campaign with an event tracer attached
 // and exports the postmortem as Chrome trace-event JSON: the violation
 // marker sits at the end of the Perfetto timeline, with the bank, shaper
 // and refresh activity leading up to it.
 func dumpFailTrace(path string, scheme config.Scheme, app string, sched fault.Schedule, cycles uint64) {
 	tr := obs.NewTracer(0)
-	if err := runCampaign(scheme, app, sched, cycles, nil, tr); err == nil {
+	sys, err := build(scheme, app, 11)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: fail-trace:", err)
+		return
+	}
+	sys.Observe(nil, tr)
+	if err := sys.AttachFaults(sched); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: fail-trace:", err)
+		return
+	}
+	if err := sys.RunChecked(cycles); err == nil {
 		fmt.Fprintln(os.Stderr, "dagchaos: replay of failing seed did not fail; writing trace anyway")
 	}
 	if err := obs.WriteChromeTraceFile(path, tr); err != nil {
@@ -197,43 +432,4 @@ func dumpFailTrace(path string, scheme config.Scheme, app string, sched fault.Sc
 		return
 	}
 	fmt.Fprintf(os.Stderr, "dagchaos: wrote failure postmortem (%d events) to %s (open in https://ui.perfetto.dev)\n", tr.Len(), path)
-}
-
-// checkNonInterference runs the same fault schedule against two victims
-// differing only in their secret and compares the shaped egress traces.
-func checkNonInterference(app string, sched fault.Schedule, cycles uint64) error {
-	run := func(secret int64) ([]sim.EgressEvent, error) {
-		sys, err := build(config.DAGguise, app, secret)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.AttachFaults(sched); err != nil {
-			return nil, err
-		}
-		sys.EnableEgressTrace()
-		if err := sys.RunChecked(cycles); err != nil {
-			return nil, err
-		}
-		return sys.EgressTrace(1), nil
-	}
-	a, err := run(11)
-	if err != nil {
-		return err
-	}
-	b, err := run(12)
-	if err != nil {
-		return err
-	}
-	if len(a) != len(b) {
-		return fmt.Errorf("trace lengths diverge: %d vs %d events", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return fmt.Errorf("traces diverge at event %d: %+v vs %+v", i, a[i], b[i])
-		}
-	}
-	if len(a) == 0 {
-		return fmt.Errorf("empty egress trace")
-	}
-	return nil
 }

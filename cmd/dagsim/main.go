@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dagguise/internal/eval"
 	"dagguise/internal/obs"
+	"dagguise/internal/runner"
 	"dagguise/internal/sim"
 )
 
@@ -34,11 +38,45 @@ func main() {
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCap, "event trace ring capacity")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	interval := flag.Duration("metrics-interval", 0, "print periodic metric delta snapshots to stderr (e.g. 10s)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist completed measurements here so an interrupted sweep can resume")
+	resume := flag.Bool("resume", false, "resume a sweep from -checkpoint-dir, skipping measurements already done")
+	timeout := flag.Duration("timeout", 0, "stop the sweep after this long (0 = no deadline); combine with -checkpoint-dir to resume later")
 	flag.Parse()
 
-	opts := eval.Options{Warmup: *warmup, Window: *window}
+	ctx, cancel := runner.WithSignals(context.Background())
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
+	opts := eval.Options{Warmup: *warmup, Window: *window, Ctx: ctx}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dagsim: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	cachePath := ""
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		cachePath = filepath.Join(*ckptDir, "results-cache.json")
+		if _, err := os.Stat(cachePath); err == nil && !*resume {
+			fmt.Fprintf(os.Stderr, "dagsim: %s already holds completed measurements; pass -resume to continue them or remove the directory to start over\n", cachePath)
+			os.Exit(2)
+		}
+		cache, err := eval.OpenRunCache(cachePath)
+		if err != nil {
+			fatal(err)
+		}
+		if n := cache.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dagsim: resuming, %d measurements already cached\n", n)
+		}
+		opts.Cache = cache
 	}
 
 	if *pprofAddr != "" {
@@ -85,6 +123,7 @@ func main() {
 	case 2:
 		res, err := eval.Figure9(opts)
 		if err != nil {
+			interrupted(err, cachePath)
 			fatal(err)
 		}
 		fmt.Println("Figure 9: average normalized IPC, DocDist + one SPEC app on two cores")
@@ -94,6 +133,7 @@ func main() {
 	case 8:
 		res, err := eval.Figure10(opts)
 		if err != nil {
+			interrupted(err, cachePath)
 			fatal(err)
 		}
 		fmt.Println("Figure 10: average normalized IPC, 2xDocDist + 2xDNA + 4xSPEC on eight cores")
@@ -103,6 +143,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unsupported core count %d (use 2 or 8)", *cores))
 	}
+}
+
+// interrupted exits with status 3 when the sweep stopped on a signal or
+// deadline, pointing at the resume command if measurements were persisted.
+func interrupted(err error, cachePath string) {
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "dagsim: interrupted:", err)
+	if cachePath != "" {
+		fmt.Fprintln(os.Stderr, "dagsim: completed measurements saved; rerun with -resume to continue")
+	}
+	os.Exit(3)
 }
 
 func fatal(err error) {

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"context"
+
 	"dagguise/internal/audit"
 	"dagguise/internal/camouflage"
 	"dagguise/internal/config"
@@ -20,6 +22,17 @@ import (
 func AuditLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage.Distribution,
 	secret0, secret1 Pattern, probe Probe, probes int, cfg audit.Config,
 	attach func(*Harness)) (*audit.Report, error) {
+	return AuditLeakageCtx(context.Background(), scheme, defense, dist,
+		secret0, secret1, probe, probes, cfg, attach)
+}
+
+// AuditLeakageCtx is AuditLeakage with cooperative cancellation threaded
+// through the auditor's per-window calibration loops: a canceled context
+// stops the permutation and bootstrap resampling between iterations and
+// surfaces as an error wrapping audit.ErrCanceled.
+func AuditLeakageCtx(ctx context.Context, scheme config.Scheme, defense rdag.Template,
+	dist camouflage.Distribution, secret0, secret1 Pattern, probe Probe, probes int,
+	cfg audit.Config, attach func(*Harness)) (*audit.Report, error) {
 
 	auditor, err := audit.New(cfg)
 	if err != nil {
@@ -53,10 +66,10 @@ func AuditLeakage(scheme config.Scheme, defense rdag.Template, dist camouflage.D
 	// moment both streams cover it.
 	s0, s1 := tap0.Samples(), tap1.Samples()
 	for i := 0; i < len(s0) && i < len(s1); i++ {
-		if err := auditor.Push(0, s0[i]); err != nil {
+		if err := auditor.PushCtx(ctx, 0, s0[i]); err != nil {
 			return nil, err
 		}
-		if err := auditor.Push(1, s1[i]); err != nil {
+		if err := auditor.PushCtx(ctx, 1, s1[i]); err != nil {
 			return nil, err
 		}
 	}

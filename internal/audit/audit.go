@@ -27,8 +27,8 @@ package audit
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 
+	"dagguise/internal/rng"
 	"dagguise/internal/stats"
 )
 
@@ -266,12 +266,12 @@ func (a *Auditor) audit(start int) {
 
 	// Each window derives its own RNG stream from (Seed, window index), so
 	// the report is identical no matter how the pushes were interleaved.
-	rng := rand.New(rand.NewSource(a.cfg.Seed*1_000_003 + int64(idx)))
-	rep.TThreshold = PermutationThreshold(v0, v1, stats.WelchT, a.cfg.Permutations, a.cfg.Alpha, rng)
+	rnd := rng.New(a.cfg.Seed*1_000_003 + int64(idx))
+	rep.TThreshold = PermutationThreshold(v0, v1, stats.WelchT, a.cfg.Permutations, a.cfg.Alpha, rnd)
 	ks := func(x, y []uint64) float64 { return stats.KSDistance(x, y) }
-	rep.KSThreshold = PermutationThreshold(v0, v1, ks, a.cfg.Permutations, a.cfg.Alpha, rng)
-	rep.MIThreshold = PermutationThreshold(v0, v1, mi, a.cfg.Permutations, a.cfg.Alpha, rng)
-	rep.MILo, rep.MIHi = BootstrapCI(v0, v1, mi, a.cfg.Bootstrap, a.cfg.Confidence, rng)
+	rep.KSThreshold = PermutationThreshold(v0, v1, ks, a.cfg.Permutations, a.cfg.Alpha, rnd)
+	rep.MIThreshold = PermutationThreshold(v0, v1, mi, a.cfg.Permutations, a.cfg.Alpha, rnd)
+	rep.MILo, rep.MIHi = BootstrapCI(v0, v1, mi, a.cfg.Bootstrap, a.cfg.Confidence, rnd)
 
 	if rep.T > rep.TThreshold {
 		rep.Detectors = append(rep.Detectors, "welch")

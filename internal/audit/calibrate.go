@@ -1,11 +1,9 @@
 package audit
 
 import (
-	"math"
-	"math/rand"
-	"sort"
+	"context"
 
-	"dagguise/internal/stats"
+	"dagguise/internal/rng"
 )
 
 // Stat is a two-sample statistic over secret-conditioned observation
@@ -19,29 +17,12 @@ type Stat func(obs0, obs1 []uint64) float64
 // (no leakage) the labels are exchangeable, so comparing the observed
 // statistic against this threshold rejects with false-positive rate alpha
 // by construction — no distributional assumptions, no magic constants. The
-// caller seeds rng, which makes the threshold deterministic.
-func PermutationThreshold(obs0, obs1 []uint64, stat Stat, k int, alpha float64, rng *rand.Rand) float64 {
-	if k < 1 || len(obs0) == 0 || len(obs1) == 0 {
-		return 0
-	}
-	pool := make([]uint64, 0, len(obs0)+len(obs1))
-	pool = append(pool, obs0...)
-	pool = append(pool, obs1...)
-	n0 := len(obs0)
-	vals := make([]float64, k)
-	for i := 0; i < k; i++ {
-		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
-		vals[i] = stat(pool[:n0], pool[n0:])
-	}
-	sort.Float64s(vals)
-	idx := int(math.Ceil(float64(k)*(1-alpha))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= k {
-		idx = k - 1
-	}
-	return vals[idx]
+// caller seeds rnd, which makes the threshold deterministic.
+//
+// This form never aborts; PermutationThresholdCtx adds cancellation.
+func PermutationThreshold(obs0, obs1 []uint64, stat Stat, k int, alpha float64, rnd *rng.Rand) float64 {
+	v, _ := PermutationThresholdCtx(context.Background(), obs0, obs1, stat, k, alpha, rnd)
+	return v
 }
 
 // SequencePermutationThreshold calibrates stats.SequenceMI: under the
@@ -51,71 +32,18 @@ func PermutationThreshold(obs0, obs1 []uint64, stat Stat, k int, alpha float64, 
 // (1 - alpha) quantile is the rejection threshold. Positions keep their
 // identity (only labels within a position are permuted), so the threshold
 // is valid for the ordering-sensitive statistic.
-func SequencePermutationThreshold(seq0, seq1 [][]uint64, binWidth uint64, k int, alpha float64, rng *rand.Rand) float64 {
-	n := len(seq0)
-	if len(seq1) < n {
-		n = len(seq1)
-	}
-	if n == 0 || k < 1 {
-		return 0
-	}
-	vals := make([]float64, k)
-	var pool []uint64
-	for i := 0; i < k; i++ {
-		total := 0.0
-		for p := 0; p < n; p++ {
-			pool = pool[:0]
-			pool = append(pool, seq0[p]...)
-			pool = append(pool, seq1[p]...)
-			rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
-			total += stats.BinaryMI(pool[:len(seq0[p])], pool[len(seq0[p]):], binWidth)
-		}
-		vals[i] = total / float64(n)
-	}
-	sort.Float64s(vals)
-	idx := int(math.Ceil(float64(k)*(1-alpha))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= k {
-		idx = k - 1
-	}
-	return vals[idx]
+func SequencePermutationThreshold(seq0, seq1 [][]uint64, binWidth uint64, k int, alpha float64, rnd *rng.Rand) float64 {
+	v, _ := SequencePermutationThresholdCtx(context.Background(), seq0, seq1, binWidth, k, alpha, rnd)
+	return v
 }
 
 // BootstrapCI returns a percentile-bootstrap confidence interval for stat
 // at the given confidence level: each side is resampled with replacement b
 // times and the interval is cut from the resampled statistic's quantiles.
 // The interval quantifies the finite-sample uncertainty the old point
-// estimate hid. The caller seeds rng, which makes the interval
+// estimate hid. The caller seeds rnd, which makes the interval
 // deterministic.
-func BootstrapCI(obs0, obs1 []uint64, stat Stat, b int, confidence float64, rng *rand.Rand) (lo, hi float64) {
-	if b < 1 || len(obs0) == 0 || len(obs1) == 0 {
-		return 0, 0
-	}
-	r0 := make([]uint64, len(obs0))
-	r1 := make([]uint64, len(obs1))
-	vals := make([]float64, b)
-	for i := 0; i < b; i++ {
-		for j := range r0 {
-			r0[j] = obs0[rng.Intn(len(obs0))]
-		}
-		for j := range r1 {
-			r1[j] = obs1[rng.Intn(len(obs1))]
-		}
-		vals[i] = stat(r0, r1)
-	}
-	sort.Float64s(vals)
-	tail := (1 - confidence) / 2
-	at := func(q float64) float64 {
-		idx := int(math.Ceil(q*float64(b))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= b {
-			idx = b - 1
-		}
-		return vals[idx]
-	}
-	return at(tail), at(1 - tail)
+func BootstrapCI(obs0, obs1 []uint64, stat Stat, b int, confidence float64, rnd *rng.Rand) (lo, hi float64) {
+	lo, hi, _ = BootstrapCICtx(context.Background(), obs0, obs1, stat, b, confidence, rnd)
+	return lo, hi
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	crng "dagguise/internal/rng"
+
 	"dagguise/internal/stats"
 )
 
@@ -24,7 +26,7 @@ func TestPermutationThresholdSeparatesSignalFromNull(t *testing.T) {
 	shift := synth(80, 320, 32, rng)
 
 	for name, stat := range map[string]Stat{"welch": stats.WelchT, "ks": func(a, b []uint64) float64 { return stats.KSDistance(a, b) }, "mi": mi8} {
-		thr := PermutationThreshold(null0, null1, stat, 200, 0.01, rand.New(rand.NewSource(5)))
+		thr := PermutationThreshold(null0, null1, stat, 200, 0.01, crng.New(5))
 		if got := stat(null0, null1); got > thr {
 			t.Errorf("%s: null statistic %f above its own calibrated threshold %f", name, got, thr)
 		}
@@ -38,12 +40,12 @@ func TestPermutationThresholdDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	a := synth(60, 100, 50, rng)
 	b := synth(60, 120, 50, rng)
-	t1 := PermutationThreshold(a, b, mi8, 150, 0.05, rand.New(rand.NewSource(77)))
-	t2 := PermutationThreshold(a, b, mi8, 150, 0.05, rand.New(rand.NewSource(77)))
+	t1 := PermutationThreshold(a, b, mi8, 150, 0.05, crng.New(77))
+	t2 := PermutationThreshold(a, b, mi8, 150, 0.05, crng.New(77))
 	if t1 != t2 {
 		t.Fatalf("thresholds differ for identical seeds: %v vs %v", t1, t2)
 	}
-	if PermutationThreshold(nil, b, mi8, 150, 0.05, rand.New(rand.NewSource(1))) != 0 {
+	if PermutationThreshold(nil, b, mi8, 150, 0.05, crng.New(1)) != 0 {
 		t.Fatal("empty sample should yield zero threshold")
 	}
 }
@@ -53,21 +55,21 @@ func TestBootstrapCIBracketsEstimate(t *testing.T) {
 	a := synth(100, 100, 16, rng)
 	b := synth(100, 180, 16, rng) // clearly distinguishable
 	point := mi8(a, b)
-	lo, hi := BootstrapCI(a, b, mi8, 200, 0.95, rand.New(rand.NewSource(31)))
+	lo, hi := BootstrapCI(a, b, mi8, 200, 0.95, crng.New(31))
 	if !(lo <= point && point <= hi) {
 		t.Fatalf("CI [%f, %f] does not bracket point estimate %f", lo, hi, point)
 	}
 	if lo == hi && lo == 0 {
 		t.Fatal("degenerate CI on a leaky channel")
 	}
-	lo2, hi2 := BootstrapCI(a, b, mi8, 200, 0.95, rand.New(rand.NewSource(31)))
+	lo2, hi2 := BootstrapCI(a, b, mi8, 200, 0.95, crng.New(31))
 	if lo != lo2 || hi != hi2 {
 		t.Fatal("bootstrap CI not deterministic for a fixed seed")
 	}
 }
 
 func TestBootstrapCIEmptyInput(t *testing.T) {
-	if lo, hi := BootstrapCI(nil, []uint64{1}, mi8, 10, 0.95, rand.New(rand.NewSource(1))); lo != 0 || hi != 0 {
+	if lo, hi := BootstrapCI(nil, []uint64{1}, mi8, 10, 0.95, crng.New(1)); lo != 0 || hi != 0 {
 		t.Fatal("empty input should yield the zero interval")
 	}
 }

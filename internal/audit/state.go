@@ -1,0 +1,18 @@
+package audit
+
+// SaveState returns a copy of the tap's recorded samples (nil on a nil
+// tap), the tap's full mutable state.
+func (t *Tap) SaveState() []Sample {
+	if t == nil || len(t.samples) == 0 {
+		return nil
+	}
+	return append([]Sample(nil), t.samples...)
+}
+
+// RestoreState replaces the tap's recorded samples. No-op on nil.
+func (t *Tap) RestoreState(samples []Sample) {
+	if t == nil {
+		return
+	}
+	t.samples = append(t.samples[:0], samples...)
+}

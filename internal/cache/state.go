@@ -1,0 +1,99 @@
+package cache
+
+import "fmt"
+
+// Line flag bits in State.Flags.
+const (
+	flagValid = 1 << 0
+	flagDirty = 1 << 1
+)
+
+// State is the serializable content of one cache level: the line arrays
+// flattened set-major (index = set*ways + way). Geometry (set count, ways,
+// line size, latency) is configuration, rebuilt by the constructor, and is
+// recorded only as lengths for shape validation on restore.
+type State struct {
+	Tags  []uint64 `json:"tags"`
+	Flags []uint8  `json:"flags"`
+	LRU   []uint64 `json:"lru"`
+	Clock uint64   `json:"clock"`
+	Stats Stats    `json:"stats"`
+}
+
+// SaveState captures the level's full mutable state.
+func (c *Cache) SaveState() State {
+	n := len(c.sets) * c.ways
+	st := State{
+		Tags:  make([]uint64, 0, n),
+		Flags: make([]uint8, 0, n),
+		LRU:   make([]uint64, 0, n),
+		Clock: c.clock,
+		Stats: c.stats,
+	}
+	for _, set := range c.sets {
+		for _, ln := range set {
+			var f uint8
+			if ln.valid {
+				f |= flagValid
+			}
+			if ln.dirty {
+				f |= flagDirty
+			}
+			st.Tags = append(st.Tags, ln.tag)
+			st.Flags = append(st.Flags, f)
+			st.LRU = append(st.LRU, ln.lru)
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the level's mutable state. The cache must have
+// been built with the same configuration the state was saved from.
+func (c *Cache) RestoreState(st State) error {
+	n := len(c.sets) * c.ways
+	if len(st.Tags) != n || len(st.Flags) != n || len(st.LRU) != n {
+		return fmt.Errorf("cache: state holds %d/%d/%d lines, cache has %d",
+			len(st.Tags), len(st.Flags), len(st.LRU), n)
+	}
+	i := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{
+				tag:   st.Tags[i],
+				valid: st.Flags[i]&flagValid != 0,
+				dirty: st.Flags[i]&flagDirty != 0,
+				lru:   st.LRU[i],
+			}
+			i++
+		}
+	}
+	c.clock = st.Clock
+	c.stats = st.Stats
+	return nil
+}
+
+// HierarchyState is the serializable state of one core's cache stack.
+type HierarchyState struct {
+	L1 State `json:"l1"`
+	L2 State `json:"l2"`
+	L3 State `json:"l3"`
+}
+
+// SaveState captures all three levels.
+func (h *Hierarchy) SaveState() HierarchyState {
+	return HierarchyState{L1: h.L1.SaveState(), L2: h.L2.SaveState(), L3: h.L3.SaveState()}
+}
+
+// RestoreState overwrites all three levels.
+func (h *Hierarchy) RestoreState(st HierarchyState) error {
+	if err := h.L1.RestoreState(st.L1); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := h.L2.RestoreState(st.L2); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if err := h.L3.RestoreState(st.L3); err != nil {
+		return fmt.Errorf("L3: %w", err)
+	}
+	return nil
+}

@@ -21,11 +21,11 @@ package camouflage
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"dagguise/internal/mem"
 	"dagguise/internal/obs"
+	"dagguise/internal/rng"
 	"dagguise/internal/shaper"
 )
 
@@ -67,7 +67,7 @@ type Shaper struct {
 	mapper   *mem.Mapper
 	capacity int
 	alloc    shaper.IDAlloc
-	rng      *rand.Rand
+	rng      *rng.Rand
 
 	queue    []mem.Request
 	pool     []uint64 // remaining intervals of the current epoch
@@ -100,7 +100,7 @@ func New(domain mem.Domain, dist Distribution, mapper *mem.Mapper, capacity int,
 		mapper:   mapper,
 		capacity: capacity,
 		alloc:    alloc,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rng.New(seed),
 		rows:     1 << 14,
 		columns:  geo.RowBytes / geo.LineBytes,
 		banks:    mapper.BankCount(),

@@ -1,0 +1,169 @@
+// Package ckpt serializes full simulator state into versioned, checksummed
+// snapshots and provides crash-safe file persistence for them.
+//
+// On-disk layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       8     magic "DAGCKPT1"
+//	8       4     format version (currently 1)
+//	12      8     payload length in bytes
+//	20      n     payload: deterministic JSON of sim.SystemState
+//	20+n    32    SHA-256 over bytes [0, 20+n)
+//
+// The payload is canonical: every map in the state layer is serialized as a
+// sorted pair list, so encoding the same state twice yields identical bytes.
+// Load never panics on hostile input; every rejection is one of the typed
+// sentinel errors below, distinguishable with errors.Is.
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dagguise/internal/sim"
+)
+
+// Magic identifies a DAGguise checkpoint file.
+const Magic = "DAGCKPT1"
+
+// Version is the current snapshot format version. Decoders reject any other
+// version rather than guessing at field layout.
+const Version uint32 = 1
+
+const (
+	headerLen   = 8 + 4 + 8
+	checksumLen = sha256.Size
+	// maxPayload bounds the declared payload length so a corrupted length
+	// field cannot drive a huge allocation before the checksum is verified.
+	maxPayload = 1 << 32
+)
+
+// Typed sentinel errors. Decode wraps them with detail; match with errors.Is.
+var (
+	ErrTruncated          = errors.New("ckpt: snapshot truncated")
+	ErrBadMagic           = errors.New("ckpt: not a checkpoint (bad magic)")
+	ErrUnsupportedVersion = errors.New("ckpt: unsupported format version")
+	ErrChecksum           = errors.New("ckpt: checksum mismatch")
+	ErrCorrupt            = errors.New("ckpt: corrupt payload")
+)
+
+// Encode serializes a system state into the framed snapshot format.
+func Encode(st *sim.SystemState) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("ckpt: nil state")
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode state: %w", err)
+	}
+	buf := make([]byte, 0, headerLen+len(payload)+checksumLen)
+	buf = append(buf, Magic...)
+	buf = binary.BigEndian.AppendUint32(buf, Version)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// Decode parses and validates a framed snapshot. It rejects truncated,
+// corrupted or incompatible input with a typed error and never panics.
+func Decode(data []byte) (*sim.SystemState, error) {
+	if len(data) < headerLen+checksumLen {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen+checksumLen)
+	}
+	if !bytes.Equal(data[:8], []byte(Magic)) {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, data[:8])
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d", ErrUnsupportedVersion, v, Version)
+	}
+	plen := binary.BigEndian.Uint64(data[12:20])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes is implausible", ErrCorrupt, plen)
+	}
+	want := headerLen + int(plen) + checksumLen
+	if len(data) < want {
+		return nil, fmt.Errorf("%w: %d bytes, header declares %d", ErrTruncated, len(data), want)
+	}
+	if len(data) > want {
+		return nil, fmt.Errorf("%w: %d trailing bytes after checksum", ErrCorrupt, len(data)-want)
+	}
+	body := data[:headerLen+plen]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], data[headerLen+plen:]) {
+		return nil, fmt.Errorf("%w", ErrChecksum)
+	}
+	st := new(sim.SystemState)
+	dec := json.NewDecoder(bytes.NewReader(body[headerLen:]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// Save atomically writes a snapshot to path: the bytes go to a temporary
+// file in the same directory, are fsynced, renamed over path, and the
+// directory entry is fsynced. A crash at any point leaves either the old
+// snapshot or the new one, never a torn file.
+func Save(path string, st *sim.SystemState) error {
+	data, err := Encode(st)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, data)
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (*sim.SystemState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	st, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return st, nil
+}
+
+// WriteFileAtomic durably writes data to path via a same-directory temp
+// file, fsync, rename, and directory fsync. It is also used for the
+// runner's resume manifests.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ckpt: create dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

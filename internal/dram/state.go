@@ -1,0 +1,108 @@
+package dram
+
+import "fmt"
+
+// BankSave mirrors one bank's row-buffer and command-gate state.
+type BankSave struct {
+	RowOpen   bool   `json:"row_open"`
+	OpenRow   uint64 `json:"open_row"`
+	NextAct   uint64 `json:"next_act"`
+	NextRead  uint64 `json:"next_read"`
+	NextWrite uint64 `json:"next_write"`
+	NextPre   uint64 `json:"next_pre"`
+	BusyUntil uint64 `json:"busy_until"`
+}
+
+// RankSave mirrors one rank's tFAW window and refresh schedule.
+type RankSave struct {
+	ActWindow   [4]uint64 `json:"act_window"`
+	ActIdx      int       `json:"act_idx"`
+	ActCount    int       `json:"act_count"`
+	NextAct     uint64    `json:"next_act"`
+	NextRefresh uint64    `json:"next_refresh"`
+	RefreshEnd  uint64    `json:"refresh_end"`
+}
+
+// ChanSave mirrors one channel's bus and turnaround state.
+type ChanSave struct {
+	BusFree   uint64 `json:"bus_free"`
+	NextCol   uint64 `json:"next_col"`
+	LastWrite bool   `json:"last_write"`
+	WTRUntil  uint64 `json:"wtr_until"`
+}
+
+// StallSave mirrors one injected blackout window.
+type StallSave struct {
+	From  uint64 `json:"from"`
+	Until uint64 `json:"until"`
+}
+
+// DeviceState is the device's full mutable state. Timing parameters and
+// geometry are configuration, rebuilt by the constructor.
+type DeviceState struct {
+	Banks     []BankSave  `json:"banks"`
+	Ranks     []RankSave  `json:"ranks"`
+	Channels  []ChanSave  `json:"channels"`
+	Stalls    []StallSave `json:"stalls,omitempty"`
+	Hits      uint64      `json:"hits"`
+	Misses    uint64      `json:"misses"`
+	Conflicts uint64      `json:"conflicts"`
+	Refreshes uint64      `json:"refreshes"`
+	StallHits uint64      `json:"stall_hits"`
+}
+
+// SaveState captures the device's full mutable state, including any
+// injected stall windows.
+func (d *Device) SaveState() DeviceState {
+	st := DeviceState{
+		Banks:    make([]BankSave, len(d.banks)),
+		Ranks:    make([]RankSave, len(d.ranks)),
+		Channels: make([]ChanSave, len(d.channels)),
+		Hits:     d.hits, Misses: d.misses, Conflicts: d.conflicts,
+		Refreshes: d.refreshes, StallHits: d.stallHits,
+	}
+	for i, b := range d.banks {
+		st.Banks[i] = BankSave{RowOpen: b.rowOpen, OpenRow: b.openRow, NextAct: b.nextAct,
+			NextRead: b.nextRead, NextWrite: b.nextWrite, NextPre: b.nextPre, BusyUntil: b.busyUntil}
+	}
+	for i, r := range d.ranks {
+		st.Ranks[i] = RankSave{ActWindow: r.actWindow, ActIdx: r.actIdx, ActCount: r.actCount,
+			NextAct: r.nextAct, NextRefresh: r.nextRefresh, RefreshEnd: r.refreshEnd}
+	}
+	for i, c := range d.channels {
+		st.Channels[i] = ChanSave{BusFree: c.busFree, NextCol: c.nextCol, LastWrite: c.lastWrite, WTRUntil: c.wtrUntil}
+	}
+	for _, w := range d.stalls {
+		st.Stalls = append(st.Stalls, StallSave{From: w.from, Until: w.until})
+	}
+	return st
+}
+
+// RestoreState overwrites the device's mutable state. The stall-window set
+// is replaced wholesale with the saved one, so restore after attaching any
+// fault schedule (AttachFaults then RestoreState): the saved set already
+// contains the windows that were registered before the save.
+func (d *Device) RestoreState(st DeviceState) error {
+	if len(st.Banks) != len(d.banks) || len(st.Ranks) != len(d.ranks) || len(st.Channels) != len(d.channels) {
+		return fmt.Errorf("dram: state shape (%d banks, %d ranks, %d channels) does not match device (%d, %d, %d)",
+			len(st.Banks), len(st.Ranks), len(st.Channels), len(d.banks), len(d.ranks), len(d.channels))
+	}
+	for i, b := range st.Banks {
+		d.banks[i] = bankState{rowOpen: b.RowOpen, openRow: b.OpenRow, nextAct: b.NextAct,
+			nextRead: b.NextRead, nextWrite: b.NextWrite, nextPre: b.NextPre, busyUntil: b.BusyUntil}
+	}
+	for i, r := range st.Ranks {
+		d.ranks[i] = rankState{actWindow: r.ActWindow, actIdx: r.ActIdx, actCount: r.ActCount,
+			nextAct: r.NextAct, nextRefresh: r.NextRefresh, refreshEnd: r.RefreshEnd}
+	}
+	for i, c := range st.Channels {
+		d.channels[i] = chanState{busFree: c.BusFree, nextCol: c.NextCol, lastWrite: c.LastWrite, wtrUntil: c.WTRUntil}
+	}
+	d.stalls = d.stalls[:0]
+	for _, w := range st.Stalls {
+		d.stalls = append(d.stalls, stallWindow{from: w.From, until: w.Until})
+	}
+	d.hits, d.misses, d.conflicts = st.Hits, st.Misses, st.Conflicts
+	d.refreshes, d.stallHits = st.Refreshes, st.StallHits
+	return nil
+}

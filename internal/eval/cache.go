@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"dagguise/internal/ckpt"
+)
+
+// runCacheVersion guards the cache schema.
+const runCacheVersion = 1
+
+// RunCache is dagsim's campaign-level resume store: every completed
+// (figure, app, scheme) measurement is persisted as soon as it finishes, so
+// an interrupted figure sweep rerun with the same options skips straight to
+// the first unmeasured configuration. Simulations are deterministic, so a
+// cached entry is exactly what rerunning the simulation would produce.
+type RunCache struct {
+	path    string
+	entries map[string]SchemeIPCs
+}
+
+type runCacheFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]SchemeIPCs `json:"entries"`
+}
+
+// OpenRunCache loads the cache at path, or initialises an empty one when
+// the file does not exist yet.
+func OpenRunCache(path string) (*RunCache, error) {
+	c := &RunCache{path: path, entries: make(map[string]SchemeIPCs)}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eval: read run cache: %w", err)
+	}
+	var f runCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("eval: corrupt run cache %s: %w", path, err)
+	}
+	if f.Version != runCacheVersion {
+		return nil, fmt.Errorf("eval: run cache %s is v%d, this build reads v%d", path, f.Version, runCacheVersion)
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c, nil
+}
+
+// Len returns the number of cached measurements.
+func (c *RunCache) Len() int { return len(c.entries) }
+
+func (c *RunCache) get(key string) (SchemeIPCs, bool) {
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+// put records a completed measurement and persists the cache atomically, so
+// a kill between measurements never loses finished work.
+func (c *RunCache) put(key string, v SchemeIPCs) error {
+	c.entries[key] = v
+	data, err := json.MarshalIndent(runCacheFile{Version: runCacheVersion, Entries: c.entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return ckpt.WriteFileAtomic(c.path, append(data, '\n'))
+}
+
+// ctxOf returns the Options context, defaulting to Background.
+func (o Options) ctxOf() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}

@@ -6,8 +6,8 @@
 package eval
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"dagguise/internal/attack"
 	"dagguise/internal/audit"
@@ -15,6 +15,7 @@ import (
 	"dagguise/internal/config"
 	"dagguise/internal/profile"
 	"dagguise/internal/rdag"
+	"dagguise/internal/rng"
 	"dagguise/internal/sim"
 	"dagguise/internal/stats"
 	"dagguise/internal/trace"
@@ -33,6 +34,13 @@ type Options struct {
 	// it runs — the hook the CLIs use to wire a shared observability
 	// registry and tracer across an experiment's many simulations.
 	Attach func(*sim.System)
+	// Ctx, when non-nil, threads cooperative cancellation through every
+	// simulation's tick loop: a SIGINT/SIGTERM or deadline stops the sweep
+	// between cycles and surfaces as a context error.
+	Ctx context.Context
+	// Cache, when non-nil, resumes figure sweeps: completed (figure, app,
+	// scheme) measurements are persisted immediately and skipped on rerun.
+	Cache *RunCache
 }
 
 // DefaultOptions returns windows long enough for stable IPCs: the window
@@ -118,8 +126,15 @@ type SchemeIPCs struct {
 	TotalGBps float64
 }
 
-// runSystem builds and measures one configuration.
-func runSystem(scheme config.Scheme, specs []sim.CoreSpec, opts Options) (SchemeIPCs, error) {
+// runSystem builds and measures one configuration. key names the run for
+// the resume cache ("" = never cached); a cached measurement short-circuits
+// the simulation entirely.
+func runSystem(key string, scheme config.Scheme, specs []sim.CoreSpec, opts Options) (SchemeIPCs, error) {
+	if opts.Cache != nil && key != "" {
+		if out, ok := opts.Cache.get(key); ok {
+			return out, nil
+		}
+	}
 	cfg := config.Default(len(specs), scheme)
 	sys, err := sim.New(cfg, specs)
 	if err != nil {
@@ -128,10 +143,23 @@ func runSystem(scheme config.Scheme, specs []sim.CoreSpec, opts Options) (Scheme
 	if opts.Attach != nil {
 		opts.Attach(sys)
 	}
-	res := sys.Measure(opts.Warmup, opts.Window)
+	var res sim.Result
+	if opts.Ctx != nil {
+		res, err = sys.MeasureCheckedCtx(opts.ctxOf(), opts.Warmup, opts.Window)
+		if err != nil {
+			return SchemeIPCs{}, err
+		}
+	} else {
+		res = sys.Measure(opts.Warmup, opts.Window)
+	}
 	out := SchemeIPCs{TotalGBps: res.TotalGBps}
 	for _, c := range res.Cores {
 		out.IPCs = append(out.IPCs, c.IPC)
+	}
+	if opts.Cache != nil && key != "" {
+		if err := opts.Cache.put(key, out); err != nil {
+			return SchemeIPCs{}, err
+		}
 	}
 	return out, nil
 }
@@ -184,7 +212,7 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := runSystem(config.Insecure, insSpecs, opts)
+		base, err := runSystem("fig9/"+app+"/insecure", config.Insecure, insSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +220,7 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs, err := runSystem(config.FSBTA, fsSpecs, opts)
+		fs, err := runSystem("fig9/"+app+"/fs-bta", config.FSBTA, fsSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +228,7 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		dag, err := runSystem(config.DAGguise, dagSpecs, opts)
+		dag, err := runSystem("fig9/"+app+"/dagguise", config.DAGguise, dagSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -289,7 +317,7 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := runSystem(config.Insecure, insSpecs, opts)
+		base, err := runSystem("fig10/"+app+"/insecure", config.Insecure, insSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +325,7 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs, err := runSystem(config.FSBTA, fsSpecs, opts)
+		fs, err := runSystem("fig10/"+app+"/fs-bta", config.FSBTA, fsSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +333,7 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		dag, err := runSystem(config.DAGguise, dagSpecs, opts)
+		dag, err := runSystem("fig10/"+app+"/dagguise", config.DAGguise, dagSpecs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -433,7 +461,7 @@ func Table1Observed(probes, trials int, attach func(*attack.Harness)) ([]Table1R
 		}
 		// One deterministic calibration stream per scheme: the thresholds
 		// and intervals in the printed table are reproducible run to run.
-		rng := rand.New(rand.NewSource(4243 + int64(scheme)))
+		rnd := rng.New(4243 + int64(scheme))
 		row := Table1Row{
 			Scheme:      scheme,
 			AggregateMI: res.AggregateMI,
@@ -442,11 +470,11 @@ func Table1Observed(probes, trials int, attach func(*attack.Harness)) ([]Table1R
 			Claimed:     scheme.Secure(),
 		}
 		row.AggThreshold = audit.PermutationThreshold(res.Raw0, res.Raw1, miStat,
-			table1Permutations, table1Alpha, rng)
+			table1Permutations, table1Alpha, rnd)
 		row.SeqThreshold = audit.SequencePermutationThreshold(res.Seq0, res.Seq1, attack.LeakageBinWidth,
-			table1Permutations, table1Alpha, rng)
+			table1Permutations, table1Alpha, rnd)
 		row.AggMILo, row.AggMIHi = audit.BootstrapCI(res.Raw0, res.Raw1, miStat,
-			table1Bootstrap, table1Confidence, rng)
+			table1Bootstrap, table1Confidence, rnd)
 		row.Secure = row.AggregateMI <= row.AggThreshold && row.SequenceMI <= row.SeqThreshold
 		rows = append(rows, row)
 	}
@@ -457,8 +485,14 @@ func Table1Observed(probes, trials int, attach func(*attack.Harness)) ([]Table1R
 // the scheme — the cmd/dagaudit entry point and the CI leakage-budget
 // gate. attach, when non-nil, is called on each harness before it runs.
 func Audit(scheme config.Scheme, probes int, cfg audit.Config, attach func(*attack.Harness)) (*audit.Report, error) {
+	return AuditCtx(context.Background(), scheme, probes, cfg, attach)
+}
+
+// AuditCtx is Audit with cooperative cancellation threaded into the
+// auditor's per-window calibration loops (see attack.AuditLeakageCtx).
+func AuditCtx(ctx context.Context, scheme config.Scheme, probes int, cfg audit.Config, attach func(*attack.Harness)) (*audit.Report, error) {
 	s0, s1, probe, dist := figure5Pair()
-	return attack.AuditLeakage(scheme, DefaultDefense(), dist, s0, s1, probe, probes, cfg, attach)
+	return attack.AuditLeakageCtx(ctx, scheme, DefaultDefense(), dist, s0, s1, probe, probes, cfg, attach)
 }
 
 // FormatTable1 renders the rows as an aligned text table.

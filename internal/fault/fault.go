@@ -21,10 +21,10 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"dagguise/internal/mem"
+	"dagguise/internal/rng"
 )
 
 // Kind enumerates the concrete fault classes the injector can realise.
@@ -242,7 +242,7 @@ type CampaignConfig struct {
 // Campaign draws a randomized but fully seed-determined fault schedule:
 // calling it twice with equal arguments yields identical schedules.
 func Campaign(seed int64, cfg CampaignConfig) Schedule {
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.New(seed)
 	if cfg.Events == 0 {
 		cfg.Events = 12
 	}
@@ -256,18 +256,18 @@ func Campaign(seed int64, cfg CampaignConfig) Schedule {
 		if n == 0 {
 			return 0
 		}
-		return uint64(rng.Int63n(int64(n)))
+		return uint64(rnd.Int63n(int64(n)))
 	}
 	domain := func() mem.Domain {
-		if len(cfg.Domains) == 0 || rng.Intn(3) == 0 {
+		if len(cfg.Domains) == 0 || rnd.Intn(3) == 0 {
 			return AllDomains
 		}
-		return cfg.Domains[rng.Intn(len(cfg.Domains))]
+		return cfg.Domains[rnd.Intn(len(cfg.Domains))]
 	}
 	sched := Schedule{Seed: seed}
 	for i := 0; i < cfg.Events; i++ {
 		var e Event
-		switch Kind(rng.Intn(5)) {
+		switch Kind(rnd.Intn(5)) {
 		case DRAMStall:
 			e = Event{Kind: DRAMStall, Start: pick(cfg.Horizon), Duration: 1 + pick(cfg.MaxStorm)}
 		case RespDelay:

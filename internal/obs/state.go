@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Restore overwrites the registry's counters and histogram buckets from a
+// snapshot (the inverse of Snapshot, used by checkpoint restore so that
+// metrics reported after a resume match an uninterrupted run). A nil
+// snapshot on a nil registry is a no-op; shape mismatches are an error.
+func (r *Registry) Restore(s *Snapshot) error {
+	if r == nil {
+		if s == nil {
+			return nil
+		}
+		return fmt.Errorf("obs: snapshot restore into a nil registry")
+	}
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot restore into a live registry")
+	}
+	if s.Domains != r.domains || len(s.Counters) != len(r.counters) || len(s.Hists) != len(r.hists) {
+		return fmt.Errorf("obs: snapshot shape (%d domains, %d counters, %d buckets) does not match registry (%d, %d, %d)",
+			s.Domains, len(s.Counters), len(s.Hists), r.domains, len(r.counters), len(r.hists))
+	}
+	for i := range r.counters {
+		atomic.StoreUint64(&r.counters[i], s.Counters[i])
+	}
+	for i := range r.hists {
+		atomic.StoreUint64(&r.hists[i], s.Hists[i])
+	}
+	return nil
+}

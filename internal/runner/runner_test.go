@@ -1,0 +1,275 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dagguise/internal/config"
+	"dagguise/internal/fault"
+	"dagguise/internal/rdag"
+	"dagguise/internal/sim"
+	"dagguise/internal/trace"
+	"dagguise/internal/victim"
+	"dagguise/internal/workload"
+)
+
+func buildPair(t testing.TB, scheme config.Scheme) func(int) (*sim.System, error) {
+	return func(int) (*sim.System, error) {
+		tr, err := victim.DocDistTrace(11, victim.DefaultDocDist())
+		if err != nil {
+			return nil, err
+		}
+		p, err := workload.ByName("lbm")
+		if err != nil {
+			return nil, err
+		}
+		cfg := config.Default(2, scheme)
+		return sim.New(cfg, []sim.CoreSpec{
+			{
+				Name:      "docdist",
+				Source:    &trace.Loop{Inner: tr},
+				Protected: true,
+				Defense:   rdag.Template{Sequences: 8, Weight: 150, WriteRatio: 0.25, Banks: 8},
+			},
+			{Name: "lbm", Source: workload.MustSource(p, 5)},
+		})
+	}
+}
+
+// finishStats emits a deterministic result: per-core retired instruction
+// counts at the final cycle.
+func finishStats(sys *sim.System) (json.RawMessage, error) {
+	type out struct {
+		Cycle uint64   `json:"cycle"`
+		Inst  []uint64 `json:"instructions"`
+	}
+	o := out{Cycle: sys.Now()}
+	st, err := sys.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range st.CoreStates {
+		o.Inst = append(o.Inst, cs.Stats.Instructions)
+	}
+	return json.Marshal(o)
+}
+
+func campaign(t testing.TB, cycles uint64) []Job {
+	return []Job{
+		{Name: "dagguise-pair", Cycles: cycles, Build: buildPair(t, config.DAGguise), Finish: finishStats},
+		{Name: "insecure-pair", Cycles: cycles, Build: buildPair(t, config.Insecure), Finish: finishStats},
+	}
+}
+
+func resultsOf(recs []JobRecord) string {
+	var b bytes.Buffer
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%s %s %s\n", r.Name, r.State, string(r.Result))
+	}
+	return b.String()
+}
+
+func TestRunnerCompletesCampaign(t *testing.T) {
+	r := New(Config{Dir: t.TempDir(), Every: 10_000})
+	recs, err := r.Run(context.Background(), campaign(t, 30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", rec.Name, rec.State, rec.Error)
+		}
+		if rec.Cycles != 30_000 || len(rec.Result) == 0 {
+			t.Fatalf("job %s: cycles=%d result=%q", rec.Name, rec.Cycles, rec.Result)
+		}
+		if rec.Checkpoint != "" {
+			t.Fatalf("job %s: done but checkpoint %q not dropped", rec.Name, rec.Checkpoint)
+		}
+	}
+}
+
+func TestRunnerInterruptAndResumeMatchesUninterrupted(t *testing.T) {
+	const cycles = 60_000
+
+	// Reference: uninterrupted campaign.
+	ref, err := New(Config{}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: cancel from the first auto-checkpoint of the first job.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := New(Config{Dir: dir, Every: 15_000, OnCheckpoint: func(string, uint64) { cancel() }})
+	recs, err := r.Run(ctx, campaign(t, cycles))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if recs[0].State != StateRunning || recs[0].Checkpoint == "" {
+		t.Fatalf("interrupted job not checkpointed: %+v", recs[0])
+	}
+	if _, err := os.Stat(filepath.Join(dir, recs[0].Checkpoint)); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+
+	// Resume in a fresh Runner (a new process in real life).
+	recs2, err := New(Config{Dir: dir, Every: 15_000}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultsOf(recs2), resultsOf(ref); got != want {
+		t.Fatalf("resumed campaign differs from uninterrupted:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
+func TestRunnerSIGTERMSavesAndResumesIdentically(t *testing.T) {
+	const cycles = 60_000
+
+	ref, err := New(Config{}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	r := New(Config{Dir: dir, Every: 15_000, OnCheckpoint: func(string, uint64) {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}})
+	recs, err := r.Run(ctx, campaign(t, cycles))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SIGTERM run returned %v, want context.Canceled", err)
+	}
+	if recs[0].State == StateDone && recs[1].State == StateDone {
+		t.Fatal("SIGTERM landed after the whole campaign finished; nothing was interrupted")
+	}
+	stop() // release the signal handler before anything else runs
+
+	recs2, err := New(Config{Dir: dir, Every: 15_000}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultsOf(recs2), resultsOf(ref); got != want {
+		t.Fatalf("post-SIGTERM resume differs from uninterrupted:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
+func TestRunnerRetriesInjectedDeadlock(t *testing.T) {
+	// Attempt 0 carries an injected DRAM storm that outlives the watchdog
+	// budget; attempt 1 runs clean. The runner must classify the SimError
+	// as retryable, back off, rebuild and succeed.
+	build := func(attempt int) (*sim.System, error) {
+		sys, err := buildPair(t, config.DAGguise)(attempt)
+		if err != nil {
+			return nil, err
+		}
+		if attempt == 0 {
+			err = sys.AttachFaults(fault.Schedule{Events: []fault.Event{
+				{Kind: fault.DRAMStall, Start: 1_000, Duration: 30_000},
+			}})
+			if err != nil {
+				return nil, err
+			}
+			sys.SetWatchdog(sim.Watchdog{StallBudget: 4_000})
+		}
+		return sys, nil
+	}
+	var log bytes.Buffer
+	r := New(Config{Retries: 1, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Log: &log})
+	recs, err := r.Run(context.Background(), []Job{
+		{Name: "stormy", Cycles: 20_000, Build: build, Finish: finishStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].State != StateDone {
+		t.Fatalf("job not recovered: %+v\nlog:\n%s", recs[0], log.String())
+	}
+	if recs[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", recs[0].Attempts)
+	}
+}
+
+func TestRunnerIsolatesPanicsAndExhaustsRetries(t *testing.T) {
+	panicky := Job{
+		Name:   "panicky",
+		Cycles: 1_000,
+		Build: func(int) (*sim.System, error) {
+			panic("boom")
+		},
+		Finish: finishStats,
+	}
+	jobs := []Job{panicky, {Name: "healthy", Cycles: 10_000, Build: buildPair(t, config.Insecure), Finish: finishStats}}
+	r := New(Config{Retries: 1, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	recs, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].State != StateFailed || recs[0].Error == "" {
+		t.Fatalf("panicky job: %+v", recs[0])
+	}
+	if recs[0].Attempts != 2 {
+		t.Fatalf("panicky attempts = %d, want 2 (1 + 1 retry)", recs[0].Attempts)
+	}
+	if recs[1].State != StateDone {
+		t.Fatalf("healthy job starved by the panicky one: %+v", recs[1])
+	}
+}
+
+func TestRunnerSkipsCompletedJobsOnRerun(t *testing.T) {
+	dir := t.TempDir()
+	builds := 0
+	job := Job{
+		Name:   "once",
+		Cycles: 5_000,
+		Build: func(a int) (*sim.System, error) {
+			builds++
+			return buildPair(t, config.Insecure)(a)
+		},
+		Finish: finishStats,
+	}
+	if _, err := New(Config{Dir: dir}).Run(context.Background(), []Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := New(Config{Dir: dir}).Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("job rebuilt %d times; the second campaign must skip it", builds)
+	}
+	if recs[0].State != StateDone || len(recs[0].Result) == 0 {
+		t.Fatalf("skipped job lost its result: %+v", recs[0])
+	}
+}
+
+func TestRunnerRejectsMismatchedManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Config{Dir: dir}).Run(context.Background(), campaign(t, 5_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Dir: dir}).Run(context.Background(), campaign(t, 9_000)); err == nil {
+		t.Fatal("campaign with a different cycle budget reused the old manifest")
+	}
+}
+
+func TestValidateJobs(t *testing.T) {
+	r := New(Config{})
+	if _, err := r.Run(context.Background(), []Job{{Name: ""}}); err == nil {
+		t.Fatal("nameless job accepted")
+	}
+	j := campaign(t, 1_000)
+	j[1].Name = j[0].Name
+	if _, err := r.Run(context.Background(), j); err == nil {
+		t.Fatal("duplicate job names accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package sched
+
+import "fmt"
+
+// State is the serializable mutable state of a secure arbiter — a tagged
+// union over the arbiter kinds. TP's turn position is derived from the
+// cycle counter, so only its counters are mutable; FS additionally tracks
+// the current slot's issued flag.
+type State struct {
+	Kind    string `json:"kind"`
+	CurSlot uint64 `json:"cur_slot,omitempty"`
+	Issued  bool   `json:"issued,omitempty"`
+	Stats   Stats  `json:"stats"`
+}
+
+// StatefulScheduler is a scheduler whose state can be checkpointed. The
+// stateless insecure policies (FCFS, FR-FCFS) deliberately do not implement
+// it.
+type StatefulScheduler interface {
+	SaveState() State
+	RestoreState(State) error
+}
+
+// SaveState implements StatefulScheduler.
+func (f *FixedService) SaveState() State {
+	return State{Kind: f.Name(), CurSlot: f.curSlot, Issued: f.issued, Stats: f.stats}
+}
+
+// RestoreState implements StatefulScheduler.
+func (f *FixedService) RestoreState(st State) error {
+	if st.Kind != f.Name() {
+		return fmt.Errorf("sched: restoring %q state into %s arbiter", st.Kind, f.Name())
+	}
+	f.curSlot = st.CurSlot
+	f.issued = st.Issued
+	f.stats = st.Stats
+	return nil
+}
+
+// SaveState implements StatefulScheduler.
+func (tp *TemporalPartitioning) SaveState() State {
+	return State{Kind: tp.Name(), Stats: tp.stats}
+}
+
+// RestoreState implements StatefulScheduler.
+func (tp *TemporalPartitioning) RestoreState(st State) error {
+	if st.Kind != tp.Name() {
+		return fmt.Errorf("sched: restoring %q state into %s arbiter", st.Kind, tp.Name())
+	}
+	tp.stats = st.Stats
+	return nil
+}

@@ -15,11 +15,11 @@ package shaper
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dagguise/internal/mem"
 	"dagguise/internal/obs"
 	"dagguise/internal/rdag"
+	"dagguise/internal/rng"
 )
 
 // IDAlloc returns fresh request IDs for fake requests. Simulations share
@@ -56,7 +56,7 @@ type Shaper struct {
 	mapper   *mem.Mapper
 	capacity int
 	alloc    IDAlloc
-	rng      *rand.Rand
+	rng      *rng.Rand
 
 	queue  []pending
 	tokens map[uint64]int // emitted request ID -> driver token
@@ -95,7 +95,7 @@ func New(domain mem.Domain, driver rdag.Driver, mapper *mem.Mapper, capacity int
 		mapper:   mapper,
 		capacity: capacity,
 		alloc:    alloc,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rng.New(seed),
 		tokens:   make(map[uint64]int),
 		rows:     1 << 14,
 		columns:  linesPerRow,

@@ -1,0 +1,97 @@
+package shaper
+
+import (
+	"fmt"
+	"sort"
+
+	"dagguise/internal/mem"
+	"dagguise/internal/rdag"
+	"dagguise/internal/rng"
+)
+
+// PendingSave mirrors one private-queue entry. The flat bank is derived
+// from the address and recomputed on restore.
+type PendingSave struct {
+	Req      mem.Request `json:"req"`
+	Enqueued uint64      `json:"enqueued"`
+}
+
+// TokenSave maps one emitted request ID to its rDAG token.
+type TokenSave struct {
+	ID    uint64 `json:"id"`
+	Token int    `json:"token"`
+}
+
+// RowSave records the row this shaper last opened in one flat bank.
+type RowSave struct {
+	Bank int    `json:"bank"`
+	Row  uint64 `json:"row"`
+}
+
+// State is the shaper's full mutable state, including the defense-rDAG
+// driver position and the fake-address PRNG position. Map-backed fields are
+// stored as sorted pair lists so the serialized form is deterministic.
+type State struct {
+	Queue   []PendingSave    `json:"queue,omitempty"`
+	Tokens  []TokenSave      `json:"tokens,omitempty"`
+	LastRow []RowSave        `json:"last_row,omitempty"`
+	Stats   Stats            `json:"stats"`
+	Rand    rng.State        `json:"rand"`
+	Driver  rdag.DriverState `json:"driver"`
+}
+
+// SaveState captures the shaper's full mutable state. The driver must be
+// checkpointable (both rdag drivers are).
+func (s *Shaper) SaveState() (State, error) {
+	drv, ok := s.driver.(rdag.StatefulDriver)
+	if !ok {
+		return State{}, fmt.Errorf("shaper: driver %T is not checkpointable", s.driver)
+	}
+	st := State{Stats: s.stats, Rand: s.rng.State(), Driver: drv.SaveState()}
+	for _, p := range s.queue {
+		st.Queue = append(st.Queue, PendingSave{Req: p.req, Enqueued: p.enqueued})
+	}
+	for id, tok := range s.tokens {
+		st.Tokens = append(st.Tokens, TokenSave{ID: id, Token: tok})
+	}
+	sort.Slice(st.Tokens, func(i, j int) bool { return st.Tokens[i].ID < st.Tokens[j].ID })
+	for bank, row := range s.lastRow {
+		st.LastRow = append(st.LastRow, RowSave{Bank: bank, Row: row})
+	}
+	sort.Slice(st.LastRow, func(i, j int) bool { return st.LastRow[i].Bank < st.LastRow[j].Bank })
+	return st, nil
+}
+
+// RestoreState overwrites the shaper's mutable state. The observability
+// emit-time tracking is cleared: it is measurement-only and per-attachment.
+func (s *Shaper) RestoreState(st State) error {
+	drv, ok := s.driver.(rdag.StatefulDriver)
+	if !ok {
+		return fmt.Errorf("shaper: driver %T is not checkpointable", s.driver)
+	}
+	if err := drv.RestoreState(st.Driver); err != nil {
+		return err
+	}
+	if len(st.Queue) > s.capacity {
+		return fmt.Errorf("shaper: state queue depth %d exceeds capacity %d", len(st.Queue), s.capacity)
+	}
+	s.queue = s.queue[:0]
+	for _, p := range st.Queue {
+		bank := s.mapper.FlatBank(s.mapper.Decode(p.Req.Addr))
+		s.queue = append(s.queue, pending{req: p.Req, bank: bank, enqueued: p.Enqueued})
+	}
+	s.tokens = make(map[uint64]int, len(st.Tokens))
+	for _, t := range st.Tokens {
+		s.tokens[t.ID] = t.Token
+	}
+	s.lastRow = make(map[int]uint64, len(st.LastRow))
+	for _, r := range st.LastRow {
+		s.lastRow[r.Bank] = r.Row
+	}
+	s.stats = st.Stats
+	s.rng.Restore(st.Rand)
+	if s.emitAt != nil {
+		s.emitAt = make(map[uint64]uint64)
+	}
+	return nil
+}

@@ -761,6 +761,12 @@ func (s *System) measure(warmup, window uint64, checked bool) (Result, error) {
 		}
 		return nil
 	}
+	return s.measureWith(run, warmup, window)
+}
+
+// measureWith is the measurement core, parameterised over the run loop so
+// the context-aware form shares the exact accounting.
+func (s *System) measureWith(run func(uint64) error, warmup, window uint64) (Result, error) {
 	if err := run(warmup); err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dagguise/internal/audit"
+	"dagguise/internal/camouflage"
+	"dagguise/internal/config"
+	"dagguise/internal/cpu"
+	"dagguise/internal/dram"
+	"dagguise/internal/mem"
+	"dagguise/internal/memctrl"
+	"dagguise/internal/obs"
+	"dagguise/internal/sched"
+	"dagguise/internal/shaper"
+)
+
+// DomainRequests is one shaped domain's staged egress queue.
+type DomainRequests struct {
+	Domain mem.Domain    `json:"domain"`
+	Reqs   []mem.Request `json:"reqs"`
+}
+
+// DomainInt is one (domain, int) pair, used for high-water marks.
+type DomainInt struct {
+	Domain mem.Domain `json:"domain"`
+	V      int        `json:"v"`
+}
+
+// DomainU64 is one (domain, uint64) pair.
+type DomainU64 struct {
+	Domain mem.Domain `json:"domain"`
+	V      uint64     `json:"v"`
+}
+
+// DeferredSave mirrors one fault-withheld response awaiting redelivery.
+type DeferredSave struct {
+	At   uint64       `json:"at"`
+	Resp mem.Response `json:"resp"`
+}
+
+// DomainShaperState is one DAGguise shaper's state.
+type DomainShaperState struct {
+	Domain mem.Domain   `json:"domain"`
+	State  shaper.State `json:"state"`
+}
+
+// DomainCamoState is one Camouflage shaper's state.
+type DomainCamoState struct {
+	Domain mem.Domain       `json:"domain"`
+	State  camouflage.State `json:"state"`
+}
+
+// DomainTapState is one audit tap's recorded samples.
+type DomainTapState struct {
+	Domain  mem.Domain     `json:"domain"`
+	Samples []audit.Sample `json:"samples"`
+}
+
+// SystemState is the complete mutable state of a System, sufficient to
+// resume a run bit-identically on a machine rebuilt from the same
+// configuration and core specs. Scheme and core count are recorded for
+// shape validation; everything structural (mapper, policy, wiring) is
+// configuration and is rebuilt by New. Deliberately excluded: the egress
+// trace ring (an observation log, not machine state — a resumed run's trace
+// continues from empty and concatenates with the pre-save trace), the
+// watchdog configuration (runtime policy, set by the caller) and the fault
+// injector (pure function of its schedule; reattach before restoring).
+type SystemState struct {
+	Scheme config.Scheme `json:"scheme"`
+	Cores  int           `json:"cores"`
+
+	Now    uint64 `json:"now"`
+	NextID uint64 `json:"next_id"`
+
+	CoreStates []cpu.CoreState         `json:"core_states"`
+	Device     dram.DeviceState        `json:"device"`
+	Ctrl       memctrl.ControllerState `json:"ctrl"`
+	Sched      *sched.State            `json:"sched,omitempty"`
+	Shapers    []DomainShaperState     `json:"shapers,omitempty"`
+	Camos      []DomainCamoState       `json:"camos,omitempty"`
+
+	Egress   []DomainRequests `json:"egress,omitempty"`
+	Deferred []DeferredSave   `json:"deferred,omitempty"`
+	EgressHW []DomainInt      `json:"egress_hw,omitempty"`
+
+	LastProgress uint64 `json:"last_progress"`
+	LastRetired  uint64 `json:"last_retired"`
+
+	AuditTaps []DomainTapState `json:"audit_taps,omitempty"`
+	AuditLast []DomainU64      `json:"audit_last,omitempty"`
+
+	// Obs is the observability registry snapshot when one is attached,
+	// so metrics after a resume match an uninterrupted run.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// SaveState captures the system's complete mutable state. Every core's
+// trace source must be checkpointable (trace.Stateful); every shaper's
+// driver must be checkpointable (both rdag drivers are).
+func (s *System) SaveState() (*SystemState, error) {
+	st := &SystemState{
+		Scheme:       s.cfg.Scheme,
+		Cores:        len(s.cores),
+		Now:          s.now,
+		NextID:       s.nextID,
+		Device:       s.dev.SaveState(),
+		Ctrl:         s.ctrl.SaveState(),
+		LastProgress: s.lastProgress,
+		LastRetired:  s.lastRetired,
+		Obs:          s.mx.Snapshot(),
+	}
+	for _, c := range s.cores {
+		cs, err := c.SaveState()
+		if err != nil {
+			return nil, err
+		}
+		st.CoreStates = append(st.CoreStates, cs)
+	}
+	if ss, ok := s.policy.(sched.StatefulScheduler); ok {
+		sst := ss.SaveState()
+		st.Sched = &sst
+	}
+	for _, dom := range s.order {
+		if sh, ok := s.shapers[dom]; ok {
+			shs, err := sh.SaveState()
+			if err != nil {
+				return nil, err
+			}
+			st.Shapers = append(st.Shapers, DomainShaperState{Domain: dom, State: shs})
+		}
+		if sh, ok := s.camos[dom]; ok {
+			st.Camos = append(st.Camos, DomainCamoState{Domain: dom, State: sh.SaveState()})
+		}
+		if q := s.egress[dom]; len(q) > 0 {
+			st.Egress = append(st.Egress, DomainRequests{Domain: dom, Reqs: append([]mem.Request(nil), q...)})
+		}
+	}
+	for _, d := range s.deferred {
+		st.Deferred = append(st.Deferred, DeferredSave{At: d.at, Resp: d.resp})
+	}
+	for dom, hw := range s.egressHW {
+		st.EgressHW = append(st.EgressHW, DomainInt{Domain: dom, V: hw})
+	}
+	sort.Slice(st.EgressHW, func(i, j int) bool { return st.EgressHW[i].Domain < st.EgressHW[j].Domain })
+	for dom, tap := range s.auditTaps {
+		st.AuditTaps = append(st.AuditTaps, DomainTapState{Domain: dom, Samples: tap.SaveState()})
+	}
+	sort.Slice(st.AuditTaps, func(i, j int) bool { return st.AuditTaps[i].Domain < st.AuditTaps[j].Domain })
+	for dom, last := range s.auditLast {
+		st.AuditLast = append(st.AuditLast, DomainU64{Domain: dom, V: last})
+	}
+	sort.Slice(st.AuditLast, func(i, j int) bool { return st.AuditLast[i].Domain < st.AuditLast[j].Domain })
+	return st, nil
+}
+
+// RestoreState overwrites the system's mutable state with a previously
+// saved one. The system must have been built by New from the same
+// configuration and equivalent core specs; attach any fault schedule
+// before restoring (the device's saved stall-window set replaces whatever
+// AttachFaults registered). Audit taps present in the state are restored
+// only into taps already attached with AuditResponses.
+func (s *System) RestoreState(st *SystemState) error {
+	if st.Scheme != s.cfg.Scheme {
+		return fmt.Errorf("sim: state was saved under scheme %v, system runs %v", st.Scheme, s.cfg.Scheme)
+	}
+	if st.Cores != len(s.cores) || len(st.CoreStates) != len(s.cores) {
+		return fmt.Errorf("sim: state holds %d cores, system has %d", st.Cores, len(s.cores))
+	}
+	if len(st.Shapers) != len(s.shapers) || len(st.Camos) != len(s.camos) {
+		return fmt.Errorf("sim: state holds %d shapers and %d camouflage shapers, system has %d and %d",
+			len(st.Shapers), len(st.Camos), len(s.shapers), len(s.camos))
+	}
+	for i, c := range s.cores {
+		if err := c.RestoreState(st.CoreStates[i]); err != nil {
+			return err
+		}
+	}
+	if err := s.dev.RestoreState(st.Device); err != nil {
+		return err
+	}
+	if err := s.ctrl.RestoreState(st.Ctrl); err != nil {
+		return err
+	}
+	if ss, ok := s.policy.(sched.StatefulScheduler); ok {
+		if st.Sched == nil {
+			return fmt.Errorf("sim: state missing %s arbiter state", s.policy.Name())
+		}
+		if err := ss.RestoreState(*st.Sched); err != nil {
+			return err
+		}
+	} else if st.Sched != nil {
+		return fmt.Errorf("sim: state carries %q arbiter state, system policy %s is stateless", st.Sched.Kind, s.policy.Name())
+	}
+	for _, ds := range st.Shapers {
+		sh, ok := s.shapers[ds.Domain]
+		if !ok {
+			return fmt.Errorf("sim: state holds shaper state for domain %d, system has none", ds.Domain)
+		}
+		if err := sh.RestoreState(ds.State); err != nil {
+			return err
+		}
+	}
+	for _, ds := range st.Camos {
+		sh, ok := s.camos[ds.Domain]
+		if !ok {
+			return fmt.Errorf("sim: state holds camouflage state for domain %d, system has none", ds.Domain)
+		}
+		if err := sh.RestoreState(ds.State); err != nil {
+			return err
+		}
+	}
+	for dom := range s.egress {
+		delete(s.egress, dom)
+	}
+	for _, dq := range st.Egress {
+		s.egress[dq.Domain] = append([]mem.Request(nil), dq.Reqs...)
+	}
+	s.deferred = s.deferred[:0]
+	for _, d := range st.Deferred {
+		s.deferred = append(s.deferred, deferredResp{at: d.At, resp: d.Resp})
+	}
+	s.egressHW = make(map[mem.Domain]int, len(st.EgressHW))
+	for _, di := range st.EgressHW {
+		s.egressHW[di.Domain] = di.V
+	}
+	for _, dom := range s.order {
+		if _, ok := s.egressHW[dom]; !ok {
+			s.egressHW[dom] = 0
+		}
+	}
+	for _, dt := range st.AuditTaps {
+		if tap, ok := s.auditTaps[dt.Domain]; ok {
+			tap.RestoreState(dt.Samples)
+		}
+	}
+	if len(st.AuditLast) > 0 && s.auditLast == nil {
+		s.auditLast = make(map[mem.Domain]uint64)
+	}
+	for _, du := range st.AuditLast {
+		s.auditLast[du.Domain] = du.V
+	}
+	if s.mx != nil && st.Obs != nil {
+		if err := s.mx.Restore(st.Obs); err != nil {
+			return err
+		}
+	}
+	s.now = st.Now
+	s.nextID = st.NextID
+	s.lastProgress = st.LastProgress
+	s.lastRetired = st.LastRetired
+	s.portErr = nil
+	return nil
+}

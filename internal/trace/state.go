@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+
+	"dagguise/internal/rng"
+)
+
+// SourceState is the serializable position of a trace source. It is a small
+// tagged union: Kind names the concrete source, and only the fields that
+// source uses are populated. Sources that wrap another source (Loop) nest
+// the wrapped source's state in Inner.
+type SourceState struct {
+	Kind  string       `json:"kind"`
+	Pos   uint64       `json:"pos,omitempty"`
+	Wraps uint64       `json:"wraps,omitempty"`
+	Rand  *rng.State   `json:"rand,omitempty"`
+	Inner *SourceState `json:"inner,omitempty"`
+}
+
+// Stateful is a Source whose position can be captured in a checkpoint and
+// restored bit-exactly: after RestoreState(SaveState()) the source yields
+// exactly the ops it would have yielded without the round trip.
+type Stateful interface {
+	Source
+	SaveState() SourceState
+	RestoreState(SourceState) error
+}
+
+// SaveState implements Stateful.
+func (s *Slice) SaveState() SourceState {
+	return SourceState{Kind: "slice", Pos: uint64(s.pos)}
+}
+
+// RestoreState implements Stateful. The ops themselves are not part of the
+// state: the caller must restore into a Slice holding the same trace.
+func (s *Slice) RestoreState(st SourceState) error {
+	if st.Kind != "slice" {
+		return fmt.Errorf("trace: restoring %q state into a slice source", st.Kind)
+	}
+	if st.Pos > uint64(len(s.Ops)) {
+		return fmt.Errorf("trace: slice position %d beyond trace length %d", st.Pos, len(s.Ops))
+	}
+	s.pos = int(st.Pos)
+	return nil
+}
+
+// SaveState implements Stateful. The inner source must itself be Stateful.
+func (l *Loop) SaveState() SourceState {
+	inner := l.Inner.(Stateful).SaveState()
+	return SourceState{Kind: "loop", Wraps: l.Wraps, Inner: &inner}
+}
+
+// RestoreState implements Stateful.
+func (l *Loop) RestoreState(st SourceState) error {
+	if st.Kind != "loop" {
+		return fmt.Errorf("trace: restoring %q state into a loop source", st.Kind)
+	}
+	if st.Inner == nil {
+		return fmt.Errorf("trace: loop state missing inner source state")
+	}
+	inner, ok := l.Inner.(Stateful)
+	if !ok {
+		return fmt.Errorf("trace: loop inner source %T is not checkpointable", l.Inner)
+	}
+	if err := inner.RestoreState(*st.Inner); err != nil {
+		return err
+	}
+	l.Wraps = st.Wraps
+	return nil
+}

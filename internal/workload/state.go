@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"fmt"
+
+	"dagguise/internal/trace"
+)
+
+// SaveState implements trace.Stateful: the generator's position is its
+// stream cursor plus the PRNG position (the hot set and base offset are
+// derived from the seed and rebuilt by Reset).
+func (g *generator) SaveState() trace.SourceState {
+	rs := g.rng.State()
+	return trace.SourceState{Kind: "workload", Pos: g.streamPos, Rand: &rs}
+}
+
+// RestoreState implements trace.Stateful.
+func (g *generator) RestoreState(st trace.SourceState) error {
+	if st.Kind != "workload" {
+		return fmt.Errorf("workload: restoring %q state into a workload source", st.Kind)
+	}
+	if st.Rand == nil {
+		return fmt.Errorf("workload: state missing PRNG position")
+	}
+	if st.Rand.Seed != g.seed {
+		return fmt.Errorf("workload: state seed %d does not match generator seed %d", st.Rand.Seed, g.seed)
+	}
+	g.Reset()
+	g.rng.Restore(*st.Rand)
+	g.streamPos = st.Pos
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"dagguise/internal/mem"
+	"dagguise/internal/rng"
 	"dagguise/internal/trace"
 )
 
@@ -103,7 +104,7 @@ func Names() []string {
 type generator struct {
 	p    Profile
 	seed int64
-	rng  *rand.Rand
+	rng  *rng.Rand
 
 	hotLines  []uint64
 	streamPos uint64
@@ -139,7 +140,7 @@ func MustSource(p Profile, seed int64) trace.Source {
 
 // Reset implements trace.Source.
 func (g *generator) Reset() {
-	g.rng = rand.New(rand.NewSource(g.seed))
+	g.rng = rng.New(g.seed)
 	g.base = uint64(g.seed&0xff) << 32
 	g.hotLines = make([]uint64, hotSetLines)
 	for i := range g.hotLines {
@@ -173,7 +174,7 @@ func (g *generator) Next() (trace.Op, bool) {
 	gap := 0
 	if p.MeanGap > 0 {
 		// Geometric with the configured mean.
-		gap = geometric(g.rng, p.MeanGap)
+		gap = geometric(g.rng.Rand, p.MeanGap)
 	}
 	return trace.Op{Addr: addr, Kind: kind, Gap: gap, Dep: dep}, true
 }
