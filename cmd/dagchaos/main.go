@@ -26,6 +26,15 @@
 //	dagchaos -fail-trace fail.json    # Perfetto postmortem of the first failure
 //	dagchaos -checkpoint-dir state -checkpoint-every 50000 -out results.json
 //	dagchaos -checkpoint-dir state -resume -out results.json   # after a kill
+//
+// With -target it instead becomes a traffic generator against a running
+// dagauditd leakage-audit service: deterministic tenant streams (real
+// simulated tap streams and/or synthetic leaky/clean tenants) are pushed
+// through the auditd client, optionally under client-side transport chaos,
+// and the fetched verdicts can gate CI:
+//
+//	dagchaos -target http://127.0.0.1:9470 -serve-schemes insecure,dagguise \
+//	    -chaos -verdicts-out verdicts.json -gate insecure=leak,dagguise=clean
 package main
 
 import (
@@ -106,7 +115,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the running job checkpoints and the sweep exits resumably")
 	retries := flag.Int("retries", 0, "supervised retries per job after a watchdog trip")
 	out := flag.String("out", "", "write the deterministic sweep results as JSON to this path")
+	topts := registerTrafficFlags()
 	flag.Parse()
+
+	// -target switches dagchaos from torturing the simulator to torturing
+	// a running dagauditd instance (see traffic.go).
+	if topts.target != "" {
+		os.Exit(runTraffic(topts, *baseSeed))
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)

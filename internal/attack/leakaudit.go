@@ -38,8 +38,36 @@ func AuditLeakageCtx(ctx context.Context, scheme config.Scheme, defense rdag.Tem
 	if err != nil {
 		return nil, err
 	}
-	run := func(p Pattern) (*audit.Tap, error) {
-		h, err := NewHarness(scheme, defense, dist, cfg.Seed)
+	s0, s1, err := CollectTaps(scheme, defense, dist, secret0, secret1, probe, probes, cfg.Seed, attach)
+	if err != nil {
+		return nil, err
+	}
+	// Replay the two tap streams through the auditor pairwise, the order
+	// an online deployment would see them; every window is audited the
+	// moment both streams cover it.
+	for i := 0; i < len(s0) && i < len(s1); i++ {
+		if err := auditor.PushCtx(ctx, 0, s0[i]); err != nil {
+			return nil, err
+		}
+		if err := auditor.PushCtx(ctx, 1, s1[i]); err != nil {
+			return nil, err
+		}
+	}
+	return auditor.Report(scheme.String()), nil
+}
+
+// CollectTaps runs the two secret patterns under the scheme with audit
+// taps attached and returns the raw attacker-observable sample streams —
+// what an audit service ingests over the wire. Both runs use the given
+// shaper seed, matching the attacker's strongest position (identical
+// defense randomness, only the secret differs); the streams are therefore
+// a pure function of the arguments and replay byte-identically.
+func CollectTaps(scheme config.Scheme, defense rdag.Template, dist camouflage.Distribution,
+	secret0, secret1 Pattern, probe Probe, probes int, seed int64,
+	attach func(*Harness)) (s0, s1 []audit.Sample, err error) {
+
+	run := func(p Pattern) ([]audit.Sample, error) {
+		h, err := NewHarness(scheme, defense, dist, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -51,27 +79,13 @@ func AuditLeakageCtx(ctx context.Context, scheme config.Scheme, defense rdag.Tem
 		if _, err := h.Run(p, probe, probes, 0); err != nil {
 			return nil, err
 		}
-		return tap, nil
+		return tap.Samples(), nil
 	}
-	tap0, err := run(secret0)
-	if err != nil {
-		return nil, err
+	if s0, err = run(secret0); err != nil {
+		return nil, nil, err
 	}
-	tap1, err := run(secret1)
-	if err != nil {
-		return nil, err
+	if s1, err = run(secret1); err != nil {
+		return nil, nil, err
 	}
-	// Replay the two tap streams through the auditor pairwise, the order
-	// an online deployment would see them; every window is audited the
-	// moment both streams cover it.
-	s0, s1 := tap0.Samples(), tap1.Samples()
-	for i := 0; i < len(s0) && i < len(s1); i++ {
-		if err := auditor.PushCtx(ctx, 0, s0[i]); err != nil {
-			return nil, err
-		}
-		if err := auditor.PushCtx(ctx, 1, s1[i]); err != nil {
-			return nil, err
-		}
-	}
-	return auditor.Report(scheme.String()), nil
+	return s0, s1, nil
 }

@@ -25,6 +25,7 @@
 package audit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -195,10 +196,21 @@ type WindowReport struct {
 // full window as soon as both streams reach it. It is single-goroutine,
 // deterministic for a fixed Config, and never mutates the samples it is
 // fed — the simulation cannot observe it.
+//
+// Long-running consumers (the dagauditd service) keep its memory bounded
+// with Compact, which discards samples no future window can reference, and
+// TakeWindows, which hands off finished reports for external aggregation.
+// Offsets reported in WindowReport.Start are absolute stream positions and
+// are unaffected by compaction.
 type Auditor struct {
-	cfg     Config
+	cfg Config
+	// base is the absolute stream offset of streams[i][0]: Compact drops
+	// consumed prefixes and advances it, so all window arithmetic runs on
+	// absolute offsets while memory stays bounded.
+	base    int
 	streams [2][]Sample
-	next    int // start offset of the next unprocessed window
+	next    int // absolute start offset of the next unprocessed window
+	done    int // windows audited since creation (survives TakeWindows)
 	windows []WindowReport
 }
 
@@ -234,25 +246,40 @@ func (a *Auditor) PushTap(secret int, t *Tap) error {
 // drain audits every window both streams have fully covered.
 func (a *Auditor) drain() {
 	w := a.cfg.Window
-	for len(a.streams[0]) >= a.next+w && len(a.streams[1]) >= a.next+w {
+	for a.base+len(a.streams[0]) >= a.next+w && a.base+len(a.streams[1]) >= a.next+w {
 		a.audit(a.next)
 		a.next += a.cfg.stride()
 	}
 }
 
-// audit evaluates the window starting at sample offset start.
+// audit evaluates the full window starting at absolute offset start.
 func (a *Auditor) audit(start int) {
 	w := a.cfg.Window
-	win0 := a.streams[0][start : start+w]
-	win1 := a.streams[1][start : start+w]
-	v0 := make([]uint64, w)
-	v1 := make([]uint64, w)
-	for i := 0; i < w; i++ {
+	rel := start - a.base
+	win0 := a.streams[0][rel : rel+w]
+	win1 := a.streams[1][rel : rel+w]
+	rep, _ := a.evalWindow(context.Background(), start, win0, win1)
+	a.windows = append(a.windows, rep)
+}
+
+// evalWindow computes one window report over the two (possibly
+// unequal-length, for the final partial flush) sample windows. The window
+// index is taken from — and advances — the auditor's lifetime counter, so
+// every window derives its own RNG stream from (Seed, index) and the report
+// is identical no matter how the pushes were interleaved or how often the
+// auditor was compacted, checkpointed and restored. A canceled context
+// leaves the counter untouched so a later retry reproduces the same report.
+func (a *Auditor) evalWindow(ctx context.Context, start int, win0, win1 []Sample) (WindowReport, error) {
+	v0 := make([]uint64, len(win0))
+	v1 := make([]uint64, len(win1))
+	for i := range win0 {
 		v0[i] = win0[i].Value
+	}
+	for i := range win1 {
 		v1[i] = win1[i].Value
 	}
 
-	idx := len(a.windows)
+	idx := a.done
 	rep := WindowReport{
 		Index:      idx,
 		Start:      start,
@@ -264,14 +291,22 @@ func (a *Auditor) audit(start int) {
 	mi := func(x, y []uint64) float64 { return stats.BinaryMI(x, y, a.cfg.BinWidth) }
 	rep.MI = mi(v0, v1)
 
-	// Each window derives its own RNG stream from (Seed, window index), so
-	// the report is identical no matter how the pushes were interleaved.
 	rnd := rng.New(a.cfg.Seed*1_000_003 + int64(idx))
-	rep.TThreshold = PermutationThreshold(v0, v1, stats.WelchT, a.cfg.Permutations, a.cfg.Alpha, rnd)
+	var err error
+	rep.TThreshold, err = PermutationThresholdCtx(ctx, v0, v1, stats.WelchT, a.cfg.Permutations, a.cfg.Alpha, rnd)
+	if err != nil {
+		return rep, err
+	}
 	ks := func(x, y []uint64) float64 { return stats.KSDistance(x, y) }
-	rep.KSThreshold = PermutationThreshold(v0, v1, ks, a.cfg.Permutations, a.cfg.Alpha, rnd)
-	rep.MIThreshold = PermutationThreshold(v0, v1, mi, a.cfg.Permutations, a.cfg.Alpha, rnd)
-	rep.MILo, rep.MIHi = BootstrapCI(v0, v1, mi, a.cfg.Bootstrap, a.cfg.Confidence, rnd)
+	if rep.KSThreshold, err = PermutationThresholdCtx(ctx, v0, v1, ks, a.cfg.Permutations, a.cfg.Alpha, rnd); err != nil {
+		return rep, err
+	}
+	if rep.MIThreshold, err = PermutationThresholdCtx(ctx, v0, v1, mi, a.cfg.Permutations, a.cfg.Alpha, rnd); err != nil {
+		return rep, err
+	}
+	if rep.MILo, rep.MIHi, err = BootstrapCICtx(ctx, v0, v1, mi, a.cfg.Bootstrap, a.cfg.Confidence, rnd); err != nil {
+		return rep, err
+	}
 
 	if rep.T > rep.TThreshold {
 		rep.Detectors = append(rep.Detectors, "welch")
@@ -283,7 +318,87 @@ func (a *Auditor) audit(start int) {
 		rep.Detectors = append(rep.Detectors, "mi")
 	}
 	rep.Exceeded = len(rep.Detectors) > 0 && rep.MI > a.cfg.Budget
+	a.done = idx + 1
+	return rep, nil
+}
+
+// Audited returns the number of windows evaluated over the auditor's
+// lifetime, including reports already handed off with TakeWindows.
+func (a *Auditor) Audited() int { return a.done }
+
+// Pending returns, per secret class, how many accepted samples are waiting
+// beyond the last evaluated window.
+func (a *Auditor) Pending() [2]int {
+	var p [2]int
+	for i := range a.streams {
+		p[i] = a.base + len(a.streams[i]) - a.next
+		if p[i] < 0 {
+			p[i] = 0
+		}
+	}
+	return p
+}
+
+// Compact discards every sample no future window can reference (the prefix
+// below the next unprocessed window start), bounding the auditor's memory
+// to O(Window) for tumbling windows regardless of stream length. Reports
+// are unaffected: window indices, offsets and RNG streams are all absolute.
+func (a *Auditor) Compact() {
+	cut := a.next - a.base
+	for i := range a.streams {
+		if n := len(a.streams[i]); n < cut {
+			cut = n
+		}
+	}
+	if cut <= 0 {
+		return
+	}
+	for i := range a.streams {
+		rem := copy(a.streams[i], a.streams[i][cut:])
+		a.streams[i] = a.streams[i][:rem]
+	}
+	a.base += cut
+}
+
+// TakeWindows returns the window reports accumulated since the last call
+// and clears the retained slice, so a long-running consumer can fold them
+// into its own bounded aggregate. Window indices keep counting across
+// calls; Report only covers windows still retained.
+func (a *Auditor) TakeWindows() []WindowReport {
+	ws := a.windows
+	a.windows = nil
+	return ws
+}
+
+// Flush force-evaluates one final partial window over whatever samples are
+// pending beyond the last full window — the end-of-stream audit of a
+// tenant that stopped short of Config.Window. A starved stream (fewer than
+// 2 pending samples in either secret class) cannot be calibrated and
+// returns a wrapped ErrInsufficientSamples; with nothing pending at all it
+// returns (nil, nil). The evaluated window is also appended to Windows.
+func (a *Auditor) Flush() (*WindowReport, error) { return a.FlushCtx(context.Background()) }
+
+// FlushCtx is Flush with cooperative cancellation threaded through the
+// calibration loops.
+func (a *Auditor) FlushCtx(ctx context.Context) (*WindowReport, error) {
+	p := a.Pending()
+	if p[0] == 0 && p[1] == 0 {
+		return nil, nil
+	}
+	if p[0] < 2 || p[1] < 2 {
+		return nil, fmt.Errorf("%w: %d and %d pending samples past window %d",
+			ErrInsufficientSamples, p[0], p[1], a.done)
+	}
+	rel := a.next - a.base
+	rep, err := a.evalWindow(ctx, a.next, a.streams[0][rel:], a.streams[1][rel:])
+	if err != nil {
+		return nil, err
+	}
 	a.windows = append(a.windows, rep)
+	// The flushed samples are consumed: advance past the longer side so a
+	// subsequent Flush is a no-op and Compact can reclaim them.
+	a.next = a.base + max(len(a.streams[0]), len(a.streams[1]))
+	return &rep, nil
 }
 
 func minCycle(a, b []Sample) uint64 {
@@ -330,7 +445,7 @@ func (a *Auditor) Report(scheme string) *Report {
 	r := &Report{
 		Scheme:        scheme,
 		Config:        a.cfg,
-		Samples:       [2]int{len(a.streams[0]), len(a.streams[1])},
+		Samples:       [2]int{a.base + len(a.streams[0]), a.base + len(a.streams[1])},
 		Windows:       a.windows,
 		FirstExceeded: -1,
 		WithinBudget:  true,

@@ -17,6 +17,16 @@ import (
 // so they poll the context once per resample.
 var ErrCanceled = errors.New("audit: canceled")
 
+// ErrInsufficientSamples is returned (wrapped) by the calibration
+// primitives and Auditor.Flush when a window holds fewer than 2 samples
+// for either secret class. Welch's t needs a variance estimate per class
+// and a permutation null over a 1-sample class is degenerate, so instead
+// of quietly producing a NaN statistic or a zero threshold that every
+// later comparison misreads, starvation is a typed, matchable error —
+// the verdict a long-running audit service must surface for a tenant
+// whose stream dried up on one secret class.
+var ErrInsufficientSamples = errors.New("audit: fewer than 2 samples in a secret class")
+
 // ctxErr converts a context failure into a typed ErrCanceled (nil when the
 // context is still live).
 func ctxErr(ctx context.Context) error {
@@ -49,8 +59,11 @@ func permQuantileIdx(k int, alpha float64) int {
 // moment it fires. When it completes, the value and the PRNG draws consumed
 // are identical to the context-free form.
 func PermutationThresholdCtx(ctx context.Context, obs0, obs1 []uint64, stat Stat, k int, alpha float64, rnd *rng.Rand) (float64, error) {
-	if k < 1 || len(obs0) == 0 || len(obs1) == 0 {
+	if k < 1 || (len(obs0) == 0 && len(obs1) == 0) {
 		return 0, nil
+	}
+	if len(obs0) < 2 || len(obs1) < 2 {
+		return 0, fmt.Errorf("%w: calibration got %d and %d", ErrInsufficientSamples, len(obs0), len(obs1))
 	}
 	pool := make([]uint64, 0, len(obs0)+len(obs1))
 	pool = append(pool, obs0...)
@@ -101,8 +114,11 @@ func SequencePermutationThresholdCtx(ctx context.Context, seq0, seq1 [][]uint64,
 // BootstrapCICtx is BootstrapCI with cancellation, polled once per
 // resample.
 func BootstrapCICtx(ctx context.Context, obs0, obs1 []uint64, stat Stat, b int, confidence float64, rnd *rng.Rand) (lo, hi float64, err error) {
-	if b < 1 || len(obs0) == 0 || len(obs1) == 0 {
+	if b < 1 || (len(obs0) == 0 && len(obs1) == 0) {
 		return 0, 0, nil
+	}
+	if len(obs0) < 2 || len(obs1) < 2 {
+		return 0, 0, fmt.Errorf("%w: bootstrap got %d and %d", ErrInsufficientSamples, len(obs0), len(obs1))
 	}
 	r0 := make([]uint64, len(obs0))
 	r1 := make([]uint64, len(obs1))
@@ -147,14 +163,22 @@ func (a *Auditor) PushTapCtx(ctx context.Context, secret int, t *Tap) error {
 	return nil
 }
 
-// drainCtx audits every complete window, polling the context before each.
+// drainCtx audits every complete window, honouring cancellation both
+// between windows and inside each window's calibration loops. An
+// abandoned window leaves the auditor's counters untouched, so a later
+// push with a live context re-evaluates it identically.
 func (a *Auditor) drainCtx(ctx context.Context) error {
 	w := a.cfg.Window
-	for len(a.streams[0]) >= a.next+w && len(a.streams[1]) >= a.next+w {
+	for a.base+len(a.streams[0]) >= a.next+w && a.base+len(a.streams[1]) >= a.next+w {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		a.audit(a.next)
+		rel := a.next - a.base
+		rep, err := a.evalWindow(ctx, a.next, a.streams[0][rel:rel+w], a.streams[1][rel:rel+w])
+		if err != nil {
+			return err
+		}
+		a.windows = append(a.windows, rep)
 		a.next += a.cfg.stride()
 	}
 	return nil

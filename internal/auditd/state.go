@@ -1,0 +1,38 @@
+package auditd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+
+	"dagguise/internal/ckpt"
+)
+
+// The checkpoint file layout is internal/ckpt's generic frame (magic,
+// version, length, SHA-256) around the JSON serviceState payload: every
+// corruption mode the frame detects — truncation, bit rot, wrong file —
+// surfaces as a typed error at restore instead of silently wrong verdicts.
+
+func ckptSave(path string, payload []byte) error {
+	return ckpt.SaveFrame(path, payload)
+}
+
+func ckptLoad(path string) ([]byte, error) {
+	return ckpt.LoadFrame(path)
+}
+
+func isNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so a checkpoint
+// written by a newer schema fails loudly instead of dropping state.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}

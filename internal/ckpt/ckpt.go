@@ -53,27 +53,25 @@ var (
 	ErrCorrupt            = errors.New("ckpt: corrupt payload")
 )
 
-// Encode serializes a system state into the framed snapshot format.
-func Encode(st *sim.SystemState) ([]byte, error) {
-	if st == nil {
-		return nil, fmt.Errorf("ckpt: nil state")
-	}
-	payload, err := json.Marshal(st)
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: encode state: %w", err)
-	}
+// Frame wraps an arbitrary payload in the versioned, checksummed snapshot
+// framing (magic, version, length, payload, SHA-256). Encode uses it for
+// simulator snapshots; other durable state (the dagauditd tenant-auditor
+// checkpoint, fault schedules under test) reuses the same framing so every
+// on-disk artifact gets the same truncation/corruption detection.
+func Frame(payload []byte) []byte {
 	buf := make([]byte, 0, headerLen+len(payload)+checksumLen)
 	buf = append(buf, Magic...)
 	buf = binary.BigEndian.AppendUint32(buf, Version)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
 	sum := sha256.Sum256(buf)
-	return append(buf, sum[:]...), nil
+	return append(buf, sum[:]...)
 }
 
-// Decode parses and validates a framed snapshot. It rejects truncated,
-// corrupted or incompatible input with a typed error and never panics.
-func Decode(data []byte) (*sim.SystemState, error) {
+// Unframe validates the snapshot framing and returns the payload bytes. It
+// rejects truncated, corrupted or incompatible input with a typed sentinel
+// error and never panics.
+func Unframe(data []byte) ([]byte, error) {
 	if len(data) < headerLen+checksumLen {
 		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), headerLen+checksumLen)
 	}
@@ -99,13 +97,55 @@ func Decode(data []byte) (*sim.SystemState, error) {
 	if !bytes.Equal(sum[:], data[headerLen+plen:]) {
 		return nil, fmt.Errorf("%w", ErrChecksum)
 	}
+	return body[headerLen:], nil
+}
+
+// Encode serializes a system state into the framed snapshot format.
+func Encode(st *sim.SystemState) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("ckpt: nil state")
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode state: %w", err)
+	}
+	return Frame(payload), nil
+}
+
+// Decode parses and validates a framed snapshot. It rejects truncated,
+// corrupted or incompatible input with a typed error and never panics.
+func Decode(data []byte) (*sim.SystemState, error) {
+	payload, err := Unframe(data)
+	if err != nil {
+		return nil, err
+	}
 	st := new(sim.SystemState)
-	dec := json.NewDecoder(bytes.NewReader(body[headerLen:]))
+	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(st); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return st, nil
+}
+
+// SaveFrame atomically persists an arbitrary payload under the snapshot
+// framing — the durable-write path for non-simulator state.
+func SaveFrame(path string, payload []byte) error {
+	return WriteFileAtomic(path, Frame(payload))
+}
+
+// LoadFrame reads the framed file at path and returns its validated
+// payload.
+func LoadFrame(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	payload, err := Unframe(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return payload, nil
 }
 
 // Save atomically writes a snapshot to path: the bytes go to a temporary

@@ -495,6 +495,16 @@ func AuditCtx(ctx context.Context, scheme config.Scheme, probes int, cfg audit.C
 	return attack.AuditLeakageCtx(ctx, scheme, DefaultDefense(), dist, s0, s1, probe, probes, cfg, attach)
 }
 
+// AuditStreams runs the Figure 5 secret pair under the scheme and returns
+// the two raw attacker-observable sample streams — the wire-format input
+// of the dagauditd service path, deterministic in (scheme, probes, seed),
+// so a traffic generator can regenerate and replay them byte-identically
+// after a crash.
+func AuditStreams(scheme config.Scheme, probes int, seed int64) (s0, s1 []audit.Sample, err error) {
+	p0, p1, probe, dist := figure5Pair()
+	return attack.CollectTaps(scheme, DefaultDefense(), dist, p0, p1, probe, probes, seed, nil)
+}
+
 // FormatTable1 renders the rows as an aligned text table.
 func FormatTable1(rows []Table1Row) string {
 	out := fmt.Sprintf("%-12s %12s %17s %9s %12s %9s %9s %9s %9s\n",

@@ -1,0 +1,134 @@
+// Client-side fault injection for the dagauditd ingest path. Where the
+// core of this package perturbs the simulated memory system, a
+// ClientSchedule perturbs the transport between a traffic generator and
+// the audit service: slow trickled uploads, malformed or truncated
+// payloads, duplicate burst storms, and stalled readers that hold a
+// connection open without consuming the response. The same two properties
+// carry over: schedules are pure functions of their seed (a chaos failure
+// replays exactly), and injection decisions are keyed on the batch index
+// only — never on payload contents — so two streams that differ only in
+// secret data experience bit-identical transport faults.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"dagguise/internal/rng"
+)
+
+// ClientKind enumerates the transport fault classes a chaos client can
+// inflict on the audit service.
+type ClientKind int
+
+const (
+	// SlowClient trickles the batch body in Magnitude-byte writes with a
+	// pause between them, exercising the server's read deadlines.
+	SlowClient ClientKind = iota
+	// MalformedPayload sends a garbage (non-JSON) batch before the real
+	// one; the server must reject it with 400 without losing stream state.
+	MalformedPayload
+	// TruncatedPayload sends a copy of the batch cut off mid-line before
+	// the real one, as a crashed client would leave it.
+	TruncatedPayload
+	// BurstStorm re-sends the identical batch Magnitude extra times in a
+	// tight loop; the server's sequence dedup must absorb the duplicates.
+	BurstStorm
+	// StalledReader opens a request whose body never arrives, holding the
+	// connection until the server times it out.
+	StalledReader
+)
+
+var clientKindNames = map[ClientKind]string{
+	SlowClient:       "slow-client",
+	MalformedPayload: "malformed-payload",
+	TruncatedPayload: "truncated-payload",
+	BurstStorm:       "burst-storm",
+	StalledReader:    "stalled-reader",
+}
+
+// String names the client fault kind.
+func (k ClientKind) String() string {
+	if n, ok := clientKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("client-fault(%d)", int(k))
+}
+
+// ClientEvent is one transport fault, bound to the Batch-th upload of a
+// stream. Magnitude is kind-specific: write chunk size for SlowClient,
+// duplicate count for BurstStorm, unused otherwise.
+type ClientEvent struct {
+	Kind      ClientKind `json:"kind"`
+	Batch     int        `json:"batch"`
+	Magnitude int        `json:"magnitude,omitempty"`
+}
+
+// ClientSchedule is a reproducible set of transport faults. As with
+// Schedule, the seed rides along for reporting only.
+type ClientSchedule struct {
+	Seed   int64         `json:"seed"`
+	Events []ClientEvent `json:"events"`
+}
+
+// Validate rejects malformed client schedules.
+func (s ClientSchedule) Validate() error {
+	for i, e := range s.Events {
+		if _, ok := clientKindNames[e.Kind]; !ok {
+			return fmt.Errorf("fault: client event %d has unknown kind %d", i, int(e.Kind))
+		}
+		if e.Batch < 0 {
+			return fmt.Errorf("fault: client event %d (%s) targets negative batch %d", i, e.Kind, e.Batch)
+		}
+		if (e.Kind == SlowClient || e.Kind == BurstStorm) && e.Magnitude < 1 {
+			return fmt.Errorf("fault: client event %d (%s) needs magnitude >= 1", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// ForBatch returns the faults scheduled for the i-th batch, in stable
+// (kind, declaration) order.
+func (s ClientSchedule) ForBatch(i int) []ClientEvent {
+	var out []ClientEvent
+	for _, e := range s.Events {
+		if e.Batch == i {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Kind < out[b].Kind })
+	return out
+}
+
+// ClientCampaign draws a randomized but fully seed-determined transport
+// fault schedule over a stream of the given batch count: calling it twice
+// with equal arguments yields identical schedules.
+func ClientCampaign(seed int64, batches, events int) ClientSchedule {
+	rnd := rng.New(seed)
+	if events <= 0 {
+		events = 8
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	sched := ClientSchedule{Seed: seed}
+	for i := 0; i < events; i++ {
+		e := ClientEvent{Batch: rnd.Intn(batches)}
+		switch ClientKind(rnd.Intn(5)) {
+		case SlowClient:
+			e.Kind = SlowClient
+			e.Magnitude = 1 + rnd.Intn(64)
+		case MalformedPayload:
+			e.Kind = MalformedPayload
+		case TruncatedPayload:
+			e.Kind = TruncatedPayload
+		case BurstStorm:
+			e.Kind = BurstStorm
+			e.Magnitude = 1 + rnd.Intn(3)
+		default:
+			e.Kind = StalledReader
+		}
+		sched.Events = append(sched.Events, e)
+	}
+	return sched
+}

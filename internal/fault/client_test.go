@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClientCampaignDeterministic(t *testing.T) {
+	a := ClientCampaign(11, 20, 16)
+	b := ClientCampaign(11, 20, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different client schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("campaign schedule invalid: %v", err)
+	}
+	c := ClientCampaign(12, 20, 16)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical client schedules")
+	}
+	for _, e := range a.Events {
+		if e.Batch < 0 || e.Batch >= 20 {
+			t.Fatalf("event targets batch %d outside the stream", e.Batch)
+		}
+	}
+}
+
+func TestClientScheduleForBatch(t *testing.T) {
+	s := ClientSchedule{Events: []ClientEvent{
+		{Kind: BurstStorm, Batch: 3, Magnitude: 2},
+		{Kind: SlowClient, Batch: 3, Magnitude: 16},
+		{Kind: MalformedPayload, Batch: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ForBatch(3)
+	if len(got) != 2 || got[0].Kind != SlowClient || got[1].Kind != BurstStorm {
+		t.Fatalf("ForBatch(3) = %v, want slow-client then burst-storm", got)
+	}
+	if len(s.ForBatch(0)) != 0 {
+		t.Fatal("batch 0 should have no faults")
+	}
+}
+
+func TestClientScheduleValidate(t *testing.T) {
+	cases := []ClientSchedule{
+		{Events: []ClientEvent{{Kind: ClientKind(99), Batch: 0}}},
+		{Events: []ClientEvent{{Kind: SlowClient, Batch: 0}}},        // magnitude missing
+		{Events: []ClientEvent{{Kind: BurstStorm, Batch: 0}}},        // magnitude missing
+		{Events: []ClientEvent{{Kind: MalformedPayload, Batch: -1}}}, // negative batch
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid schedule accepted", i)
+		}
+	}
+	if ClientKind(99).String() == "" || SlowClient.String() != "slow-client" {
+		t.Fatal("kind names broken")
+	}
+}

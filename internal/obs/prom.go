@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter becomes
+// <ns>_<name>_total{domain="d"} and every histogram a cumulative
+// <ns>_<name>_bucket{domain="d",le="..."} series with +Inf, _sum omitted
+// (log2 buckets do not retain exact sums) and _count emitted. Output is
+// byte-deterministic for a given snapshot: series are written in catalog
+// order, domains ascending, zero-valued domain series skipped for
+// counters (Prometheus treats absent as zero) but never for populated
+// histograms. A nil snapshot writes nothing and returns nil, matching the
+// package's nil-no-op convention.
+func WritePrometheus(w io.Writer, s *Snapshot, namespace string) error {
+	if s == nil {
+		return nil
+	}
+	if namespace == "" {
+		namespace = "dagguise"
+	}
+	bw := bufio.NewWriter(w)
+
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		name := namespace + "_" + c.String() + "_total"
+		wrote := false
+		for d := 0; d < s.Domains; d++ {
+			v := s.Counter(c, d)
+			if v == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+				wrote = true
+			}
+			fmt.Fprintf(bw, "%s{domain=\"%d\"} %d\n", name, d, v)
+		}
+	}
+
+	for h := Hist(0); int(h) < NumHists; h++ {
+		name := namespace + "_" + h.String()
+		wrote := false
+		for d := 0; d < s.Domains; d++ {
+			total := s.HistTotal(h, d)
+			if total == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+				wrote = true
+			}
+			var cum uint64
+			for k, n := range s.HistBuckets(h, d) {
+				cum += n
+				if n == 0 {
+					continue
+				}
+				// The bucket upper bound: bucket k covers [2^(k-1), 2^k),
+				// so le = 2^k - 1 in integer terms.
+				le := strconv.FormatUint(bucketHigh(k), 10)
+				fmt.Fprintf(bw, "%s_bucket{domain=\"%d\",le=\"%s\"} %d\n", name, d, le, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{domain=\"%d\",le=\"+Inf\"} %d\n", name, d, total)
+			fmt.Fprintf(bw, "%s_count{domain=\"%d\"} %d\n", name, d, total)
+		}
+	}
+	return bw.Flush()
+}
+
+// bucketHigh returns the largest value falling in histogram bucket k.
+func bucketHigh(k int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k) - 1
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(3)
+	r.Add(CtrRowHits, 1, 42)
+	r.Add(CtrRowHits, 2, 7)
+	r.Observe(HistReqLatency, 1, 5)  // bucket 3: [4, 8)
+	r.Observe(HistReqLatency, 1, 6)  // bucket 3
+	r.Observe(HistReqLatency, 1, 90) // bucket 7: [64, 128)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot(), "dagauditd"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dagauditd_row_hits_total counter",
+		`dagauditd_row_hits_total{domain="1"} 42`,
+		`dagauditd_row_hits_total{domain="2"} 7`,
+		"# TYPE dagauditd_req_latency histogram",
+		`dagauditd_req_latency_bucket{domain="1",le="7"} 2`,
+		`dagauditd_req_latency_bucket{domain="1",le="127"} 3`,
+		`dagauditd_req_latency_bucket{domain="1",le="+Inf"} 3`,
+		`dagauditd_req_latency_count{domain="1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `domain="0"`) {
+		t.Error("zero-valued domain series should be skipped")
+	}
+
+	// Deterministic byte-for-byte.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, r.Snapshot(), "dagauditd"); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition not byte-deterministic")
+	}
+
+	// Nil snapshot is a silent no-op.
+	if err := WritePrometheus(&b, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+}

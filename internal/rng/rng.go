@@ -100,3 +100,21 @@ func FromState(st State) *Rand {
 	r.Restore(st)
 	return r
 }
+
+// Derive maps a base seed and a label onto a substream seed, so that
+// independently named consumers (per-tenant auditors, per-shard noise
+// sources) get decorrelated but individually reproducible streams. The
+// mix is FNV-1a over the label folded into the seed — a pure function of
+// its arguments, stable across processes and platforms.
+func Derive(seed int64, label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return seed ^ int64(h&0x7fffffffffffffff)
+}

@@ -301,20 +301,40 @@ func retryable(err error) bool {
 	return errors.As(err, &pe)
 }
 
-// backoff sleeps 2^attempt * Backoff (capped at MaxBackoff) with a
-// deterministic jitter in [half, full), honouring cancellation.
-func (r *Runner) backoff(ctx context.Context, attempt int) error {
-	d := r.cfg.Backoff
-	for i := 0; i < attempt && d < r.cfg.MaxBackoff; i++ {
+// BackoffDelay computes the supervised-retry delay for the given attempt:
+// 2^attempt * base, capped at the configurable max before jitter is
+// applied, with a deterministic jitter drawn from (seed, attempt) placing
+// the result in [cap/2, cap]. The growth loop stops at the cap, so the
+// delay is bounded no matter how many retries a flaky job accumulates, and
+// the jitter is a pure function of its inputs, so campaign wall-clock
+// behaviour replays exactly from a seed. Shared with the dagauditd client
+// library, whose retry loop needs the identical bounded-and-deterministic
+// contract.
+func BackoffDelay(base, max time.Duration, seed int64, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
 		d *= 2
 	}
-	if d > r.cfg.MaxBackoff {
-		d = r.cfg.MaxBackoff
+	if d > max {
+		d = max
 	}
-	jit := rng.New(r.cfg.Seed + int64(attempt))
-	d = d/2 + time.Duration(jit.Int63n(int64(d/2)+1))
+	jit := rng.New(seed + int64(attempt))
+	return d/2 + time.Duration(jit.Int63n(int64(d/2)+1))
+}
+
+// backoff sleeps for BackoffDelay of the attempt, honouring cancellation.
+func (r *Runner) backoff(ctx context.Context, attempt int) error {
 	select {
-	case <-time.After(d):
+	case <-time.After(BackoffDelay(r.cfg.Backoff, r.cfg.MaxBackoff, r.cfg.Seed, attempt)):
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
