@@ -24,6 +24,8 @@
 //	dagchaos -scheme dagguise         # one scheme only
 //	dagchaos -cycles 200000           # longer runs
 //	dagchaos -fail-trace fail.json    # Perfetto postmortem of the first failure
+//	dagchaos -spans -trace-out t.json # nested job/chunk spans in the export
+//	dagchaos -cycle-profile           # per-component cycle-attribution table
 //	dagchaos -checkpoint-dir state -checkpoint-every 50000 -out results.json
 //	dagchaos -checkpoint-dir state -resume -out results.json   # after a kill
 //
@@ -49,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dagguise/internal/audit"
 	"dagguise/internal/ckpt"
@@ -115,6 +118,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the sweep (0 = none); on expiry the running job checkpoints and the sweep exits resumably")
 	retries := flag.Int("retries", 0, "supervised retries per job after a watchdog trip")
 	out := flag.String("out", "", "write the deterministic sweep results as JSON to this path")
+	spansFlag := flag.Bool("spans", false, "record runner job/chunk spans (exported with -trace-out; IDs survive checkpoint resume)")
+	cycleProfFlag := flag.Bool("cycle-profile", false, "print the per-component cycle-attribution table after the sweep")
 	topts := registerTrafficFlags()
 	flag.Parse()
 
@@ -139,6 +144,15 @@ func main() {
 	if *traceOut != "" {
 		tr = obs.NewTracer(0)
 	}
+	var sp *obs.Spans
+	if *spansFlag {
+		sp = obs.NewSpans(tr) // tr may be nil: IDs still thread through the runner
+	}
+	var prof *obs.CycleProfile
+	if *cycleProfFlag {
+		prof = obs.NewCycleProfile()
+	}
+	profStart := time.Now()
 
 	if *schemeFlag != "all" {
 		known := false
@@ -165,7 +179,7 @@ func main() {
 		}
 	}
 
-	jobs, metas := buildJobs(*schemeFlag, *campaigns, *baseSeed, *cycles, *events, *app, mx, tr)
+	jobs, metas := buildJobs(*schemeFlag, *campaigns, *baseSeed, *cycles, *events, *app, mx, tr, prof)
 
 	ctx, stop := runner.WithSignals(context.Background())
 	defer stop()
@@ -180,6 +194,7 @@ func main() {
 		Retries: *retries,
 		Seed:    *baseSeed,
 		Log:     os.Stderr,
+		Spans:   sp,
 	})
 	records, err := r.Run(ctx, jobs)
 	if err != nil {
@@ -206,6 +221,14 @@ func main() {
 		fmt.Println()
 		fmt.Print(obs.FormatSummary(mx.Snapshot(), 0))
 	}
+	if prof != nil {
+		var ticks uint64
+		for _, rec := range records {
+			ticks += rec.Cycles
+		}
+		fmt.Println()
+		fmt.Print(prof.Report(time.Since(profStart), ticks).String())
+	}
 	if tr != nil {
 		if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
 			fatal(err)
@@ -221,12 +244,12 @@ func main() {
 // buildJobs lays out the supervised job list: one job per (scheme, seed),
 // plus a secret-12 twin for every DAGguise campaign so non-interference is
 // checked from two independently checkpointable runs.
-func buildJobs(schemeFlag string, campaigns int, baseSeed int64, cycles uint64, events int, app string, mx *obs.Registry, tr *obs.Tracer) ([]runner.Job, map[string]jobMeta) {
+func buildJobs(schemeFlag string, campaigns int, baseSeed int64, cycles uint64, events int, app string, mx *obs.Registry, tr *obs.Tracer, prof *obs.CycleProfile) ([]runner.Job, map[string]jobMeta) {
 	var jobs []runner.Job
 	metas := make(map[string]jobMeta)
 	add := func(name string, m jobMeta) {
 		metas[name] = m
-		jobs = append(jobs, makeJob(name, m, cycles, app, mx, tr))
+		jobs = append(jobs, makeJob(name, m, cycles, app, mx, tr, prof))
 	}
 	for _, sc := range schemes {
 		if schemeFlag != "all" && schemeFlag != sc.name {
@@ -260,7 +283,7 @@ func buildJobs(schemeFlag string, campaigns int, baseSeed int64, cycles uint64, 
 // attacker-observable response stream is part of the checkpointed state,
 // so the digest in the result is identical whether or not the job was
 // interrupted and resumed.
-func makeJob(name string, m jobMeta, cycles uint64, app string, mx *obs.Registry, tr *obs.Tracer) runner.Job {
+func makeJob(name string, m jobMeta, cycles uint64, app string, mx *obs.Registry, tr *obs.Tracer, prof *obs.CycleProfile) runner.Job {
 	var tap *audit.Tap
 	withTap := m.scheme == config.DAGguise
 	return runner.Job{
@@ -274,6 +297,7 @@ func makeJob(name string, m jobMeta, cycles uint64, app string, mx *obs.Registry
 			if mx != nil || tr != nil {
 				sys.Observe(mx, tr)
 			}
+			sys.Profile(prof)
 			if err := sys.AttachFaults(m.sched); err != nil {
 				return nil, err
 			}

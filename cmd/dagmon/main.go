@@ -1,0 +1,227 @@
+// Command dagmon is the alert-pipeline terminal: it either receives
+// webhook deliveries from a dagauditd started with -alert-webhook, or
+// tails a dagauditd /v1/alerts endpoint by polling. Every alert edge is
+// written as one NDJSON line (append-only, crash-tolerant), so CI jobs
+// and shell pipelines can gate on `grep` over the output file.
+//
+// Usage:
+//
+//	dagmon -listen 127.0.0.1:9801 -out alerts.ndjson   # webhook receiver
+//	dagmon -tail http://127.0.0.1:9470                 # poll /v1/alerts
+//	dagmon -tail http://127.0.0.1:9470 -once           # one poll, then exit
+//
+// In tail mode dagmon remembers the highest alert sequence number seen
+// and only prints new edges, so restarting mid-stream never duplicates
+// output lines for the same daemon instance. With -once it prints the
+// full retained history exactly once — the CI-friendly snapshot mode.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"dagguise/internal/auditd"
+	"dagguise/internal/obs"
+)
+
+func main() {
+	listen := flag.String("listen", "", "run a webhook receiver on this address")
+	tail := flag.String("tail", "", "poll this dagauditd base URL's /v1/alerts endpoint")
+	interval := flag.Duration("interval", 2*time.Second, "poll cadence in tail mode")
+	once := flag.Bool("once", false, "tail mode: poll once, print the retained history, exit")
+	out := flag.String("out", "", "append NDJSON alert lines to this file instead of stdout")
+	quiet := flag.Bool("quiet", false, "suppress the human-readable stderr line per alert")
+	flag.Parse()
+
+	if (*listen == "") == (*tail == "") {
+		fmt.Fprintln(os.Stderr, "dagmon: exactly one of -listen or -tail is required")
+		os.Exit(2)
+	}
+
+	sink, closeSink, err := openSink(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSink()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *listen != "" {
+		if err := runListener(ctx, *listen, sink, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runTail(ctx, *tail, *interval, *once, sink, *quiet); err != nil {
+		fatal(err)
+	}
+}
+
+// sink serializes NDJSON alert lines to one writer.
+type sink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func openSink(path string) (*sink, func(), error) {
+	if path == "" {
+		return &sink{w: os.Stdout}, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &sink{w: f}, func() { f.Close() }, nil
+}
+
+// emit writes one alert as an NDJSON line and, unless quiet, a
+// human-readable summary to stderr.
+func (s *sink) emit(a obs.Alert, quiet bool) error {
+	line, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	_, err = s.w.Write(append(line, '\n'))
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "dagmon: [%s] %s %s value=%g (%s %g) seq=%d t=%d\n",
+			a.State, a.Rule, a.Series, a.Value, a.Op, a.Threshold, a.Seq, a.T)
+	}
+	return nil
+}
+
+// runListener serves the webhook endpoint dagauditd -alert-webhook posts
+// to, acking each alert after it is durably written.
+func runListener(ctx context.Context, addr string, s *sink, quiet bool) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /", func(w http.ResponseWriter, r *http.Request) {
+		var a obs.Alert
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.emit(a, quiet); err != nil {
+			// Let the notifier's retry loop redeliver rather than drop.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dagmon: webhook receiver on http://%s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runTail polls /v1/alerts, printing edges with sequence numbers not
+// seen before. Transient fetch errors are logged and retried on the
+// next tick; in -once mode they are fatal.
+func runTail(ctx context.Context, base string, interval time.Duration, once bool, s *sink, quiet bool) error {
+	target, err := alertsURL(base)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var lastSeq uint64
+	for {
+		ar, err := fetchAlerts(ctx, client, target)
+		switch {
+		case err != nil && once:
+			return err
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "dagmon: poll:", err)
+		default:
+			for _, a := range ar.History {
+				if a.Seq <= lastSeq {
+					continue
+				}
+				lastSeq = a.Seq
+				if err := s.emit(a, quiet); err != nil {
+					return err
+				}
+			}
+		}
+		if once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// alertsURL appends the /v1/alerts path when the operator passed a bare
+// base URL.
+func alertsURL(base string) (string, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("dagmon: bad -tail URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("dagmon: -tail needs an absolute URL, got %q", base)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/alerts"
+	}
+	return u.String(), nil
+}
+
+func fetchAlerts(ctx context.Context, client *http.Client, target string) (*auditd.AlertsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	var ar auditd.AlertsResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return nil, err
+	}
+	return &ar, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagmon:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	dagsim -cores 2 -window 200000  # shorter measurement window
 //	dagsim -metrics                 # append the per-domain metrics table
 //	dagsim -trace-out run.json      # export a Perfetto-loadable event trace
+//	dagsim -cycle-profile           # append the per-component cycle-attribution table
 //	dagsim -pprof localhost:6060    # live pprof endpoints while it runs
 package main
 
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dagguise/internal/eval"
 	"dagguise/internal/obs"
@@ -36,6 +38,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the per-domain observability metrics table after the experiment")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this path")
 	traceCap := flag.Int("trace-cap", obs.DefaultTraceCap, "event trace ring capacity")
+	cycleProf := flag.Bool("cycle-profile", false, "print the per-component cycle-attribution table after the experiment")
+	cycleProfOut := flag.String("cycle-profile-out", "", "write the cycle-attribution report as JSON to this path (implies profiling)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	interval := flag.Duration("metrics-interval", 0, "print periodic metric delta snapshots to stderr (e.g. 10s)")
 	ckptDir := flag.String("checkpoint-dir", "", "persist completed measurements here so an interrupted sweep can resume")
@@ -89,6 +93,7 @@ func main() {
 
 	var mx *obs.Registry
 	var tr *obs.Tracer
+	var prof *obs.CycleProfile
 	var simCycles uint64
 	if *metrics || *interval > 0 {
 		mx = obs.NewRegistry(*cores + 1)
@@ -96,20 +101,40 @@ func main() {
 	if *traceOut != "" {
 		tr = obs.NewTracer(*traceCap)
 	}
-	if mx != nil || tr != nil {
+	if *cycleProf || *cycleProfOut != "" {
+		prof = obs.NewCycleProfile()
+	}
+	if mx != nil || tr != nil || prof != nil {
 		opts.Attach = func(sys *sim.System) {
 			simCycles += *warmup + *window
 			sys.Observe(mx, tr)
+			sys.Profile(prof)
 		}
 	}
 	if *interval > 0 {
 		stop := obs.StartIntervalDump(os.Stderr, mx, *interval)
 		defer stop()
 	}
+	start := time.Now()
 	defer func() {
 		if *metrics {
 			fmt.Println()
 			fmt.Print(obs.FormatSummary(mx.Snapshot(), simCycles))
+		}
+		if prof != nil {
+			// Coverage is against the whole sweep wall clock, so per-run
+			// build and evaluation glue lands in the harness bucket.
+			rep := prof.Report(time.Since(start), simCycles)
+			if *cycleProf {
+				fmt.Println()
+				fmt.Print(rep.String())
+			}
+			if *cycleProfOut != "" {
+				if err := writeReport(*cycleProfOut, rep); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "dagsim: wrote cycle-attribution report to %s\n", *cycleProfOut)
+			}
 		}
 		if tr != nil {
 			if err := obs.WriteChromeTraceFile(*traceOut, tr); err != nil {
@@ -156,6 +181,19 @@ func interrupted(err error, cachePath string) {
 		fmt.Fprintln(os.Stderr, "dagsim: completed measurements saved; rerun with -resume to continue")
 	}
 	os.Exit(3)
+}
+
+// writeReport dumps the attribution report as JSON.
+func writeReport(path string, rep *obs.ProfReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

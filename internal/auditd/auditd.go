@@ -107,6 +107,23 @@ type Config struct {
 	// (e.g. panics on a poisoned stream). Keyed decisions must depend only
 	// on (tenant, observation) to preserve determinism.
 	Hook func(tenant string, o Observation)
+
+	// Rules, when non-empty, enables the in-process SLO pipeline: every
+	// processed batch feeds the service's time-series store
+	// (leak_burn/<tenant> per audited window, queue_sat/<shard> and
+	// retry_rate/<shard> per batch) and evaluates the rules against it,
+	// emitting deduplicated alert edges. obs.DefaultRules is the stock
+	// catalog; obs.ParseRules reads a -alert-rules file.
+	Rules []obs.Rule
+	// Notifier delivers alert edges to a webhook (nil = keep them only in
+	// the engine's history, visible at /v1/alerts).
+	Notifier *obs.Notifier
+	// Tracer, when non-nil, receives flight-recorder events (alert edges;
+	// ingest spans when Spans is also set).
+	Tracer *obs.Tracer
+	// Spans, when non-nil, records one span per ingest request, parented
+	// on the client's X-Dag-Span context so cross-process traces nest.
+	Spans *obs.Spans
 }
 
 // withDefaults fills the zero-value knobs.
@@ -175,9 +192,12 @@ type tenant struct {
 	recent []audit.WindowReport
 }
 
-// fold drains finished window reports into the bounded aggregate.
-func (t *tenant) fold(recentCap int) {
-	for _, w := range t.aud.TakeWindows() {
+// fold drains finished window reports into the bounded aggregate and
+// returns the freshly drained windows so the caller can feed the
+// alerting time-series.
+func (t *tenant) fold(recentCap int) []audit.WindowReport {
+	ws := t.aud.TakeWindows()
+	for _, w := range ws {
 		t.agg.Windows++
 		if len(w.Detectors) > 0 {
 			t.agg.Tripped++
@@ -194,6 +214,7 @@ func (t *tenant) fold(recentCap int) {
 	if len(t.recent) > recentCap {
 		t.recent = append([]audit.WindowReport(nil), t.recent[len(t.recent)-recentCap:]...)
 	}
+	return ws
 }
 
 // batchReq is one tenant's slice of an ingest request, queued to a shard.
@@ -213,20 +234,28 @@ type batchResp struct {
 }
 
 type shard struct {
-	ch chan *batchReq
+	idx       int
+	ch        chan *batchReq
+	processed uint64 // batches this shard has applied (its TSDB time axis)
 }
 
 // counters are the service-level metrics exported at /metrics.
 type counters struct {
 	batches, observations, accepted, duplicates atomic.Uint64
 	shed, gaps, malformed, rejectedTenants      atomic.Uint64
-	quarantined, panics, checkpoints            atomic.Uint64
+	quarantined, panics, checkpoints, alerts    atomic.Uint64
 }
 
 // Service is the leakage-audit daemon core: wire it to HTTP with Handler.
 type Service struct {
 	cfg Config
 	mx  *obs.Registry
+
+	// tsdb and engine are non-nil only when cfg.Rules is set; both are
+	// internally locked, and nil disables the whole alerting path at the
+	// usual obs nil-no-op cost.
+	tsdb   *obs.TSDB
+	engine *obs.Engine
 
 	shards []*shard
 
@@ -261,13 +290,22 @@ func New(cfg Config) (*Service, error) {
 		mx:      obs.NewRegistry(cfg.MaxTenants + 1),
 		tenants: make(map[string]*tenant),
 	}
+	if len(cfg.Rules) > 0 {
+		for i := range cfg.Rules {
+			if err := cfg.Rules[i].Validate(); err != nil {
+				return nil, fmt.Errorf("auditd: %w", err)
+			}
+		}
+		s.tsdb = obs.NewTSDB(obs.DefaultTSDBCap)
+		s.engine = obs.NewEngine(s.tsdb, cfg.Rules)
+	}
 	if cfg.CheckpointPath != "" {
 		if err := s.restore(); err != nil {
 			return nil, err
 		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{ch: make(chan *batchReq, cfg.QueueDepth)}
+		sh := &shard{idx: i, ch: make(chan *batchReq, cfg.QueueDepth)}
 		s.shards = append(s.shards, sh)
 		s.shardWG.Add(1)
 		go s.runShard(sh)
@@ -331,13 +369,56 @@ func (s *Service) newTenant(name string) (*tenant, error) {
 func (s *Service) runShard(sh *shard) {
 	defer s.shardWG.Done()
 	for req := range sh.ch {
+		sat := float64(len(sh.ch)) / float64(cap(sh.ch))
 		resp := s.processBatch(req.t, req.obs)
 		req.done <- resp
+		if s.tsdb != nil {
+			// Per-shard series keep every T axis monotonic without
+			// cross-shard coordination: each shard is one goroutine.
+			sh.processed++
+			s.tsdb.Append(fmt.Sprintf("queue_sat/shard%d", sh.idx), sh.processed, sat)
+			dup := 0.0
+			if resp.duplicates > 0 {
+				dup = 1
+			}
+			s.tsdb.Append(fmt.Sprintf("retry_rate/shard%d", sh.idx), sh.processed, dup)
+			s.evalAlerts(s.ctr.accepted.Load())
+		}
 		if s.cfg.CheckpointPath != "" && s.cfg.CheckpointEvery > 0 &&
 			s.sinceCkpt.Add(uint64(resp.accepted)) >= uint64(s.cfg.CheckpointEvery) {
 			s.sinceCkpt.Store(0)
 			_ = s.Checkpoint() // best-effort; surfaced via /readyz staleness, not by dropping data
 		}
+	}
+}
+
+// feedWindows appends one 0/1 leak-budget indicator point per freshly
+// audited window to the tenant's burn series. T is the window index, so
+// the series — and every burn-rate alert derived from it — is a
+// deterministic function of the tenant's accepted stream.
+func (s *Service) feedWindows(t *tenant, ws []audit.WindowReport) {
+	if s.tsdb == nil {
+		return
+	}
+	for _, w := range ws {
+		v := 0.0
+		if w.Exceeded {
+			v = 1
+		}
+		s.tsdb.Append("leak_burn/"+t.name, uint64(w.Index), v)
+	}
+}
+
+// evalAlerts runs the SLO engine at logical time t and fans new edges
+// out to the webhook notifier and the flight tracer.
+func (s *Service) evalAlerts(t uint64) {
+	for _, a := range s.engine.Eval(t) {
+		s.ctr.alerts.Add(1)
+		s.cfg.Notifier.Notify(a)
+		s.cfg.Tracer.Emit(obs.Event{
+			Cycle: a.T, Name: a.Rule + "/" + a.Series + " " + a.State,
+			Comp: obs.CompService, Kind: obs.EvAlert,
+		})
 	}
 }
 
@@ -391,7 +472,7 @@ func (s *Service) processBatch(t *tenant, batch []Observation) (resp batchResp) 
 			panic(err) // secret validated at parse; reaching here is a pipeline bug
 		}
 	}
-	t.fold(s.cfg.RecentWindows)
+	s.feedWindows(t, t.fold(s.cfg.RecentWindows))
 	t.aud.Compact()
 	resp.nextSeq = t.nextSeq
 	s.ctr.accepted.Add(uint64(resp.accepted))
@@ -507,8 +588,11 @@ func (s *Service) Flush(name string) (*audit.WindowReport, error) {
 		return nil, err
 	}
 	t.flushError = ""
-	t.fold(s.cfg.RecentWindows)
+	s.feedWindows(t, t.fold(s.cfg.RecentWindows))
 	t.aud.Compact()
+	// The final partial window may be the edge that trips a burn-rate
+	// rule; evaluate before the caller reads /v1/alerts.
+	s.evalAlerts(t.nextSeq)
 	return rep, nil
 }
 
@@ -566,11 +650,15 @@ type tenantState struct {
 	Auditor      *audit.AuditorState  `json:"auditor"`
 }
 
-// serviceState is the full checkpoint payload.
+// serviceState is the full checkpoint payload. TSDB and Engine are
+// optional (alerting may be off); checkpoints written before the flight
+// recorder existed simply lack them and restore as cold alerting state.
 type serviceState struct {
-	Kind    string        `json:"kind"`
-	Version int           `json:"version"`
-	Tenants []tenantState `json:"tenants"`
+	Kind    string           `json:"kind"`
+	Version int              `json:"version"`
+	Tenants []tenantState    `json:"tenants"`
+	TSDB    *obs.TSDBState   `json:"tsdb,omitempty"`
+	Engine  *obs.EngineState `json:"engine,omitempty"`
 }
 
 // snapshot captures all tenant state. Tenants are locked one at a time:
@@ -578,7 +666,10 @@ type serviceState struct {
 // auditor position), cross-tenant simultaneity is not required because
 // tenants never interact.
 func (s *Service) snapshot() *serviceState {
-	st := &serviceState{Kind: serviceStateKind, Version: serviceStateVersion}
+	st := &serviceState{
+		Kind: serviceStateKind, Version: serviceStateVersion,
+		TSDB: s.tsdb.SaveState(), Engine: s.engine.SaveState(),
+	}
 	for _, t := range s.sortedTenants() {
 		t.mu.Lock()
 		st.Tenants = append(st.Tenants, tenantState{
@@ -641,6 +732,16 @@ func (s *Service) restore() error {
 	}
 	if st.Version != serviceStateVersion {
 		return fmt.Errorf("auditd: checkpoint version %d, this build reads %d", st.Version, serviceStateVersion)
+	}
+	if st.TSDB != nil && s.tsdb != nil {
+		if err := s.tsdb.RestoreState(st.TSDB); err != nil {
+			return fmt.Errorf("auditd: restore tsdb: %w", err)
+		}
+	}
+	if st.Engine != nil && s.engine != nil {
+		if err := s.engine.RestoreState(st.Engine); err != nil {
+			return fmt.Errorf("auditd: restore alert engine: %w", err)
+		}
 	}
 	for i, ts := range st.Tenants {
 		aud, err := audit.RestoreAuditor(ts.Auditor)

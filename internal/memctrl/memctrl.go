@@ -87,6 +87,7 @@ type Controller struct {
 	// security domain. Measurement only: never consulted by Pick/issue.
 	mx    *obs.Registry
 	tr    *obs.Tracer
+	prof  *obs.CycleProfile
 	burst uint64 // cached data-burst length for bus accounting
 }
 
@@ -125,6 +126,13 @@ func (c *Controller) Observe(mx *obs.Registry, tr *obs.Tracer) {
 	c.burst = c.dev.Timing().Burst
 	c.dev.Observe(mx, tr)
 }
+
+// Profile attaches a cycle-attribution profiler (nil = off). The
+// controller laps the shared telescoping clock at its interior section
+// boundaries: scheduler picks land in PBSched, device service in
+// PBDRAM, and the rest of the controller's tick (queue sampling, stats,
+// completion heap, drain) in PBMemctrl.
+func (c *Controller) Profile(p *obs.CycleProfile) { c.prof = p }
 
 // Device returns the underlying DRAM model.
 func (c *Controller) Device() *dram.Device { return c.dev }
@@ -187,12 +195,16 @@ func (c *Controller) bankFree(e Entry) bool {
 func (c *Controller) Tick(now uint64) []mem.Response {
 	c.mx.Observe(obs.HistQueueDepth, 0, uint64(len(c.queue)))
 	if len(c.queue) > 0 {
+		c.prof.Lap(obs.PBMemctrl)
 		idx := c.sched.Pick(c.queue, now, c.dev)
+		c.prof.Lap(obs.PBSched)
 		if idx >= 0 {
 			c.issue(idx, now)
 		}
 	}
-	return c.drain(now)
+	resps := c.drain(now)
+	c.prof.Lap(obs.PBMemctrl)
+	return resps
 }
 
 func (c *Controller) issue(idx int, now uint64) {
@@ -201,7 +213,9 @@ func (c *Controller) issue(idx int, now uint64) {
 	if c.domainCap > 0 {
 		c.perDomain[e.Req.Domain]--
 	}
+	c.prof.Lap(obs.PBMemctrl)
 	res := c.dev.Service(e.Coord, e.Req.Kind, now)
+	c.prof.Lap(obs.PBDRAM)
 	fb := c.mapper.FlatBank(e.Coord)
 	c.perBank[fb]++
 	c.stats.Issued++

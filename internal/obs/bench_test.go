@@ -8,11 +8,25 @@ import "testing"
 func BenchmarkDisabledCollection(b *testing.B) {
 	var r *Registry
 	var tr *Tracer
+	var p *CycleProfile
+	var sp *Spans
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.Inc(CtrRowHits, 1)
 		r.Observe(HistReqLatency, 1, uint64(i))
 		tr.Emit(Event{Cycle: uint64(i)})
+		p.Lap(PBCPU)
+		sp.End(uint64(i), uint64(i))
+	}
+}
+
+// BenchmarkCycleProfileLap measures the enabled lap cost: one monotonic
+// clock read plus two array writes per call site.
+func BenchmarkCycleProfileLap(b *testing.B) {
+	p := NewCycleProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Lap(PBCPU)
 	}
 }
 

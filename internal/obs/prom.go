@@ -11,12 +11,13 @@ import (
 // format (version 0.0.4): every counter becomes
 // <ns>_<name>_total{domain="d"} and every histogram a cumulative
 // <ns>_<name>_bucket{domain="d",le="..."} series with +Inf, _sum omitted
-// (log2 buckets do not retain exact sums) and _count emitted. Output is
-// byte-deterministic for a given snapshot: series are written in catalog
-// order, domains ascending, zero-valued domain series skipped for
-// counters (Prometheus treats absent as zero) but never for populated
-// histograms. A nil snapshot writes nothing and returns nil, matching the
-// package's nil-no-op convention.
+// (log2 buckets do not retain exact sums) and _count emitted. Each
+// emitted metric family is preceded by # HELP and # TYPE metadata.
+// Output is byte-deterministic for a given snapshot: series are written
+// in catalog order, domains ascending, zero-valued domain series skipped
+// for counters (Prometheus treats absent as zero) but never for
+// populated histograms. A nil snapshot writes nothing and returns nil,
+// matching the package's nil-no-op convention.
 func WritePrometheus(w io.Writer, s *Snapshot, namespace string) error {
 	if s == nil {
 		return nil
@@ -35,6 +36,7 @@ func WritePrometheus(w io.Writer, s *Snapshot, namespace string) error {
 				continue
 			}
 			if !wrote {
+				fmt.Fprintf(bw, "# HELP %s %s\n", name, c.Help())
 				fmt.Fprintf(bw, "# TYPE %s counter\n", name)
 				wrote = true
 			}
@@ -51,6 +53,7 @@ func WritePrometheus(w io.Writer, s *Snapshot, namespace string) error {
 				continue
 			}
 			if !wrote {
+				fmt.Fprintf(bw, "# HELP %s %s\n", name, h.Help())
 				fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
 				wrote = true
 			}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -48,5 +49,119 @@ func TestWritePrometheus(t *testing.T) {
 	// Nil snapshot is a silent no-op.
 	if err := WritePrometheus(&b, nil, "x"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// parseExposition is a minimal Prometheus text-format parser for the
+// round-trip test: it returns metric metadata (# HELP/# TYPE) and the
+// sample lines as name{labels} -> value.
+func parseExposition(t *testing.T, text string) (help, typ map[string]string, samples map[string]uint64) {
+	t.Helper()
+	help = map[string]string{}
+	typ = map[string]string{}
+	samples = map[string]uint64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			help[name] = text
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typ[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		series, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(val, "%d", &v); err != nil {
+			t.Fatalf("non-integer sample %q: %v", line, err)
+		}
+		samples[series] = v
+	}
+	return help, typ, samples
+}
+
+// TestWritePrometheusRoundTrip parses the exposition back and checks it
+// reconstructs the snapshot: every populated counter and histogram
+// count must survive, every emitted family must carry HELP and TYPE
+// metadata, and metadata must precede its samples.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry(3)
+	r.Add(CtrRowHits, 1, 42)
+	r.Add(CtrShaperFakes, 2, 9)
+	r.Add(CtrSchedPicks, 0, 1000)
+	r.Observe(HistReqLatency, 1, 5)
+	r.Observe(HistReqLatency, 1, 90)
+	r.Observe(HistEgressQueue, 2, 0)
+	snap := r.Snapshot()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap, "dag"); err != nil {
+		t.Fatal(err)
+	}
+	help, typ, samples := parseExposition(t, b.String())
+
+	// Metadata is complete and typed correctly.
+	for name, wantType := range map[string]string{
+		"dag_row_hits_total":         "counter",
+		"dag_shaper_fakes_total":     "counter",
+		"dag_sched_picks_total":      "counter",
+		"dag_req_latency":            "histogram",
+		"dag_egress_queue_occupancy": "histogram",
+	} {
+		if typ[name] != wantType {
+			t.Errorf("TYPE[%s] = %q, want %q", name, typ[name], wantType)
+		}
+		if help[name] == "" {
+			t.Errorf("no HELP for %s", name)
+		}
+	}
+
+	// Counter values reconstruct the snapshot.
+	for series, want := range map[string]uint64{
+		`dag_row_hits_total{domain="1"}`:     42,
+		`dag_shaper_fakes_total{domain="2"}`: 9,
+		`dag_sched_picks_total{domain="0"}`:  1000,
+	} {
+		if samples[series] != want {
+			t.Errorf("%s = %d, want %d", series, samples[series], want)
+		}
+	}
+
+	// Histogram counts and cumulative buckets reconstruct.
+	if samples[`dag_req_latency_count{domain="1"}`] != snap.HistTotal(HistReqLatency, 1) {
+		t.Errorf("req_latency count diverges")
+	}
+	if samples[`dag_req_latency_bucket{domain="1",le="+Inf"}`] != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", samples[`dag_req_latency_bucket{domain="1",le="+Inf"}`])
+	}
+	if samples[`dag_egress_queue_occupancy_bucket{domain="2",le="0"}`] != 1 {
+		t.Errorf("zero bucket missing from egress histogram")
+	}
+
+	// Metadata precedes samples for each family.
+	out := b.String()
+	if strings.Index(out, "# HELP dag_row_hits_total") > strings.Index(out, `dag_row_hits_total{domain="1"}`) {
+		t.Error("HELP emitted after its samples")
+	}
+	if strings.Index(out, "# HELP dag_row_hits_total") > strings.Index(out, "# TYPE dag_row_hits_total") {
+		t.Error("HELP must precede TYPE")
 	}
 }

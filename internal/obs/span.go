@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Spans is the flight recorder's structured-span layer: request-scoped
+// begin/end pairs with deterministic IDs and parent/child nesting,
+// recorded as EvSpanBegin/EvSpanEnd events into a ring Tracer. Like
+// every collector in this package it is nil-no-op (all methods are
+// safe on a nil receiver and cost one predictable branch), and it is
+// measurement-only: nothing in the simulator ever reads it back, so
+// shaped egress stays bit-identical with spans on or off.
+//
+// IDs are allocated from a monotonic counter, never from wall clock or
+// randomness, so a run produces the same span IDs every time and a
+// checkpoint/restore resumes the sequence exactly where it left off.
+type Spans struct {
+	mu   sync.Mutex
+	tr   *Tracer
+	next uint64
+	open map[uint64]OpenSpan
+}
+
+// OpenSpan describes a span that has begun but not yet ended. It holds
+// everything needed to re-emit the begin event after a checkpoint
+// restore, so spans open at Save reopen identically after Load.
+type OpenSpan struct {
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Comp   Component `json:"comp"`
+	Index  int32     `json:"index,omitempty"`
+	Domain int32     `json:"domain,omitempty"`
+	Start  uint64    `json:"start"`
+}
+
+// NewSpans builds a span recorder emitting into tr (which may be nil:
+// spans still allocate IDs and track openness, useful for propagation
+// without local retention).
+func NewSpans(tr *Tracer) *Spans {
+	return &Spans{tr: tr, next: 1, open: make(map[uint64]OpenSpan)}
+}
+
+// Begin opens a span named name under parent (0 = root) at cycle now on
+// lane (comp, index, domain), returning its ID. Returns 0 on nil.
+func (s *Spans) Begin(name string, comp Component, index, domain int32, parent, now uint64) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	os := OpenSpan{ID: id, Parent: parent, Name: name, Comp: comp, Index: index, Domain: domain, Start: now}
+	s.open[id] = os
+	s.mu.Unlock()
+	s.tr.Emit(Event{Cycle: now, Span: id, Parent: parent, Name: name, Comp: comp, Kind: EvSpanBegin, Index: index, Domain: domain})
+	return id
+}
+
+// End closes span id at cycle now. Unknown or zero IDs are ignored, so
+// callers may End unconditionally on paths where Begin was skipped.
+func (s *Spans) End(id, now uint64) {
+	if s == nil || id == 0 {
+		return
+	}
+	s.mu.Lock()
+	os, ok := s.open[id]
+	if ok {
+		delete(s.open, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.tr.Emit(Event{Cycle: now, Span: id, Parent: os.Parent, Name: os.Name, Comp: os.Comp, Kind: EvSpanEnd, Index: os.Index, Domain: os.Domain})
+}
+
+// Open returns the currently open spans ordered by ID.
+func (s *Spans) Open() []OpenSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OpenSpan, 0, len(s.open))
+	for _, os := range s.open {
+		out = append(out, os)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SpansState is the serializable state of a Spans recorder: the next ID
+// to allocate and the spans open at capture time, ordered by ID so the
+// encoding is deterministic.
+type SpansState struct {
+	Next uint64     `json:"next"`
+	Open []OpenSpan `json:"open,omitempty"`
+}
+
+// SaveState captures the recorder for a checkpoint. Nil receiver
+// returns nil.
+func (s *Spans) SaveState() *SpansState {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	next := s.next
+	s.mu.Unlock()
+	return &SpansState{Next: next, Open: s.Open()}
+}
+
+// RestoreState rebuilds the recorder from a checkpoint and re-emits the
+// begin event of every span that was open at Save, at its original
+// start cycle, so the restored trace nests identically to an
+// uninterrupted run. A nil state resets to a fresh recorder.
+func (s *Spans) RestoreState(st *SpansState) error {
+	if s == nil {
+		if st == nil {
+			return nil
+		}
+		return fmt.Errorf("obs: span state restore into a nil recorder")
+	}
+	s.mu.Lock()
+	if st == nil {
+		s.next = 1
+		s.open = make(map[uint64]OpenSpan)
+		s.mu.Unlock()
+		return nil
+	}
+	if st.Next == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("obs: span state has zero next ID")
+	}
+	open := make(map[uint64]OpenSpan, len(st.Open))
+	for _, os := range st.Open {
+		if os.ID == 0 || os.ID >= st.Next {
+			s.mu.Unlock()
+			return fmt.Errorf("obs: open span ID %d out of range (next %d)", os.ID, st.Next)
+		}
+		open[os.ID] = os
+	}
+	s.next = st.Next
+	s.open = open
+	s.mu.Unlock()
+	for _, os := range st.Open {
+		s.tr.Emit(Event{Cycle: os.Start, Span: os.ID, Parent: os.Parent, Name: os.Name, Comp: os.Comp, Kind: EvSpanBegin, Index: os.Index, Domain: os.Domain})
+	}
+	return nil
+}
+
+// SpanHeader is the HTTP header carrying a span context across process
+// boundaries (auditd client -> auditd ingest).
+const SpanHeader = "X-Dag-Span"
+
+// SpanContext is a propagated parent reference: the remote span ID and
+// the name of the trace it belongs to.
+type SpanContext struct {
+	Span uint64
+	Name string
+}
+
+// Encode renders the context for the SpanHeader value.
+func (c SpanContext) Encode() string {
+	if c.Span == 0 {
+		return ""
+	}
+	if c.Name == "" {
+		return strconv.FormatUint(c.Span, 10)
+	}
+	return strconv.FormatUint(c.Span, 10) + ";" + c.Name
+}
+
+// ParseSpanContext decodes a SpanHeader value. Empty or malformed
+// values return the zero context (span 0 = no parent), never an error:
+// a bad header must not fail an ingest.
+func ParseSpanContext(v string) SpanContext {
+	if v == "" {
+		return SpanContext{}
+	}
+	name := ""
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v, name = v[:i], v[i+1:]
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return SpanContext{}
+	}
+	return SpanContext{Span: id, Name: name}
+}

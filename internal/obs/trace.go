@@ -20,6 +20,12 @@ const (
 	CompCore
 	// CompSystem events are system-level markers (watchdog violations).
 	CompSystem
+	// CompRunner events live on per-job campaign-runner lanes.
+	CompRunner
+	// CompClient events live on auditd-client stream lanes.
+	CompClient
+	// CompService events live on auditd ingest/shard lanes.
+	CompService
 
 	numComponents
 )
@@ -31,6 +37,9 @@ var componentNames = [numComponents]string{
 	CompShaper:  "shapers",
 	CompCore:    "cores",
 	CompSystem:  "system",
+	CompRunner:  "runner",
+	CompClient:  "audit client",
+	CompService: "audit service",
 }
 
 // String returns the component's lane-group name.
@@ -61,6 +70,12 @@ const (
 	EvEgressStall
 	// EvViolation marks a watchdog invariant failure (system lane).
 	EvViolation
+	// EvSpanBegin / EvSpanEnd bracket a structured span (flight
+	// recorder); Span carries the span ID, Parent the enclosing span.
+	EvSpanBegin
+	EvSpanEnd
+	// EvAlert marks an SLO rule firing or resolving (system lane).
+	EvAlert
 
 	numEventKinds
 )
@@ -75,6 +90,9 @@ var eventNames = [numEventKinds]string{
 	EvFake:        "fake",
 	EvEgressStall: "egress-stall",
 	EvViolation:   "violation",
+	EvSpanBegin:   "span-begin",
+	EvSpanEnd:     "span-end",
+	EvAlert:       "alert",
 }
 
 // String returns the event kind's display name.
@@ -87,9 +105,15 @@ func (k EventKind) String() string {
 
 // Event is one traced occurrence: at Cycle, lasting Dur cycles (0 =
 // instant), on lane Index of component Comp, attributed to Domain.
+// Span events (EvSpanBegin/EvSpanEnd) additionally carry the span ID,
+// its parent span (0 = root) and a display name; every other kind
+// leaves those fields zero.
 type Event struct {
 	Cycle  uint64
 	Dur    uint64
+	Span   uint64
+	Parent uint64
+	Name   string
 	Comp   Component
 	Kind   EventKind
 	Index  int32

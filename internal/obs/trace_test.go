@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
 
 func TestTracerRingOrder(t *testing.T) {
 	tr := NewTracer(4)
@@ -56,5 +60,77 @@ func TestTracerDefaultCap(t *testing.T) {
 	}
 	if got := NewTracer(-5).Cap(); got != DefaultTraceCap {
 		t.Fatalf("negative cap = %d, want %d", got, DefaultTraceCap)
+	}
+}
+
+// TestTracerOverflowDeterministic pins ring-overflow behavior: for a
+// given emission sequence the retained window, the overwrite count and
+// the export are identical run to run, regardless of how far past
+// capacity the sequence runs.
+func TestTracerOverflowDeterministic(t *testing.T) {
+	emitAll := func() *Tracer {
+		tr := NewTracer(8)
+		for i := 0; i < 100; i++ {
+			tr.Emit(Event{Cycle: uint64(i), Comp: Component(i % 3), Kind: EventKind(i % 5), Index: int32(i % 4)})
+		}
+		return tr
+	}
+	a, b := emitAll(), emitAll()
+
+	if a.Overwritten() != 92 || b.Overwritten() != a.Overwritten() {
+		t.Fatalf("overwritten = %d / %d, want 92", a.Overwritten(), b.Overwritten())
+	}
+	evA, evB := a.Events(), b.Events()
+	if len(evA) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evA))
+	}
+	// The retained window is exactly the newest 8 emissions, in order.
+	for i, ev := range evA {
+		if want := uint64(92 + i); ev.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatalf("two identical emission sequences retained different windows")
+	}
+
+	var bufA, bufB bytes.Buffer
+	if err := WriteChromeTrace(&bufA, evA); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&bufB, evB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("overflowed-trace export not byte-deterministic")
+	}
+}
+
+// TestTracerOverflowDropsSpanBegins documents the interaction between
+// the bounded ring and spans: an overwritten EvSpanBegin leaves its
+// EvSpanEnd unpaired in the retained window, and the exporter must
+// still produce output (the E event simply closes an implicit lane
+// scope in Perfetto).
+func TestTracerOverflowDropsSpanBegins(t *testing.T) {
+	tr := NewTracer(4)
+	sp := NewSpans(tr)
+	id := sp.Begin("long", CompRunner, 0, 0, 0, 1)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(2 + i), Comp: CompBank, Kind: EvRowHit})
+	}
+	sp.End(id, 100)
+
+	evs := tr.Events()
+	if evs[len(evs)-1].Kind != EvSpanEnd {
+		t.Fatalf("span end not retained: %+v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Kind == EvSpanBegin {
+			t.Fatalf("span begin should have been overwritten: %+v", evs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatalf("export with unpaired span end failed: %v", err)
 	}
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// webhookSink is a test receiver that can fail the first N posts.
+type webhookSink struct {
+	mu       sync.Mutex
+	failLeft int
+	got      []Alert
+	attempts int
+}
+
+func (s *webhookSink) handler(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts++
+	if s.failLeft > 0 {
+		s.failLeft--
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	var a Alert
+	if err := json.Unmarshal(body, &a); err == nil {
+		s.got = append(s.got, a)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *webhookSink) alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Alert(nil), s.got...)
+}
+
+func TestNotifierDeliversWithRetry(t *testing.T) {
+	sink := &webhookSink{failLeft: 2}
+	srv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer srv.Close()
+
+	n := NewNotifier(srv.URL, NotifierConfig{Retries: 3, Backoff: time.Millisecond})
+	n.Notify(Alert{Seq: 1, Rule: "leak-burn", Series: "leak_burn/insecure", State: "firing", Value: 1})
+	n.Close()
+
+	got := sink.alerts()
+	if len(got) != 1 || got[0].Rule != "leak-burn" {
+		t.Fatalf("delivered = %+v", got)
+	}
+	sink.mu.Lock()
+	attempts := sink.attempts
+	sink.mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two failures then success)", attempts)
+	}
+	if n.Delivered() != 1 || n.Failed() != 0 || n.Dropped() != 0 {
+		t.Fatalf("counters = delivered %d failed %d dropped %d", n.Delivered(), n.Failed(), n.Dropped())
+	}
+}
+
+func TestNotifierCountsExhaustedRetries(t *testing.T) {
+	sink := &webhookSink{failLeft: 100}
+	srv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer srv.Close()
+
+	var logged bool
+	n := NewNotifier(srv.URL, NotifierConfig{
+		Retries: 1, Backoff: time.Millisecond,
+		Logf: func(string, ...any) { logged = true },
+	})
+	n.Notify(Alert{Seq: 1})
+	n.Close()
+	if n.Failed() != 1 || n.Delivered() != 0 {
+		t.Fatalf("counters = delivered %d failed %d", n.Delivered(), n.Failed())
+	}
+	if !logged {
+		t.Fatal("exhausted delivery not logged")
+	}
+}
+
+func TestNotifierNilAndEmptyURL(t *testing.T) {
+	if NewNotifier("", NotifierConfig{}) != nil {
+		t.Fatal("empty URL built a notifier")
+	}
+	var n *Notifier
+	n.Notify(Alert{}) // must not panic
+	n.Close()
+	if n.Delivered() != 0 || n.Failed() != 0 || n.Dropped() != 0 {
+		t.Fatal("nil notifier reported counts")
+	}
+}
+
+func TestNotifierDropsWhenQueueFull(t *testing.T) {
+	// A server that blocks until released keeps the worker busy so the
+	// tiny queue overflows.
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+
+	n := NewNotifier(srv.URL, NotifierConfig{Queue: 1, Retries: 0, Backoff: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		n.Notify(Alert{Seq: uint64(i)})
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("full queue did not drop")
+	}
+	close(release)
+	n.Close()
+}

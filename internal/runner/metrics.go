@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+)
+
+// jobMetric maps one JobRecord field to a Prometheus series.
+type jobMetric struct {
+	name  string
+	typ   string // "counter" or "gauge"
+	help  string
+	value func(r *JobRecord) float64
+}
+
+// jobMetrics is emitted in this fixed order so the exposition is
+// deterministic and diffs cleanly between scrapes.
+var jobMetrics = []jobMetric{
+	{"dagrunner_job_cycles_done", "gauge",
+		"Simulated cycles the job has completed so far.",
+		func(r *JobRecord) float64 { return float64(r.Cycles) }},
+	{"dagrunner_job_cycles_total", "gauge",
+		"The job's cycle budget.",
+		func(r *JobRecord) float64 { return float64(r.Total) }},
+	{"dagrunner_job_attempts_total", "counter",
+		"Build attempts, including the first.",
+		func(r *JobRecord) float64 { return float64(r.Attempts) }},
+	{"dagrunner_job_retries_total", "counter",
+		"Supervised retry decisions after retryable failures.",
+		func(r *JobRecord) float64 { return float64(r.Retries) }},
+	{"dagrunner_job_backoff_seconds_total", "counter",
+		"Deterministic backoff delay scheduled for the job's retries.",
+		func(r *JobRecord) float64 { return float64(r.BackoffNs) / 1e9 }},
+	{"dagrunner_job_checkpoint_writes_total", "counter",
+		"Successful checkpoint snapshots persisted for the job.",
+		func(r *JobRecord) float64 { return float64(r.Checkpoints) }},
+	{"dagrunner_job_resumes_total", "counter",
+		"Restores of the job from a persisted checkpoint.",
+		func(r *JobRecord) float64 { return float64(r.Resumes) }},
+}
+
+// jobStates is the fixed label universe of the state gauge, so a scrape
+// always carries all four series per job (1 on the current state).
+var jobStates = []JobState{StatePending, StateRunning, StateDone, StateFailed}
+
+// WriteJobMetrics renders campaign progress from manifest records in
+// Prometheus text exposition format (counters and gauges with # HELP and
+// # TYPE metadata). Records are emitted in manifest order, so identical
+// campaign states produce byte-identical expositions. The records can
+// come from a live Run's return value or from a manifest read off disk
+// while the campaign is still running — the manifest is persisted
+// atomically, so a concurrent scrape always sees a consistent snapshot.
+func WriteJobMetrics(w io.Writer, records []JobRecord) error {
+	for _, m := range jobMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		for i := range records {
+			r := &records[i]
+			if _, err := fmt.Fprintf(w, "%s{job=%q} %g\n", m.name, r.Name, m.value(r)); err != nil {
+				return err
+			}
+		}
+	}
+	const state = "dagrunner_job_state"
+	if _, err := fmt.Fprintf(w, "# HELP %s Job lifecycle state (1 on the current state's series).\n# TYPE %s gauge\n", state, state); err != nil {
+		return err
+	}
+	for i := range records {
+		for _, s := range jobStates {
+			v := 0
+			if records[i].State == s {
+				v = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s{job=%q,state=%q} %d\n", state, records[i].Name, s, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

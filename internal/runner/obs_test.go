@@ -1,0 +1,210 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dagguise/internal/config"
+	"dagguise/internal/obs"
+	"dagguise/internal/sim"
+)
+
+// TestRunnerCountersSurviveSIGTERMResume pins the PR's counter contract:
+// the retry/backoff/checkpoint/resume counters live in the manifest, so
+// a SIGTERM mid-campaign and a resume in a fresh process accumulate them
+// across both invocations instead of resetting — and with the span
+// recorder attached, the interrupted job's span reopens from the
+// checkpoint and closes exactly once when the job finally completes.
+func TestRunnerCountersSurviveSIGTERMResume(t *testing.T) {
+	const cycles = 60_000
+
+	ref, err := New(Config{}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	tr1 := obs.NewTracer(1 << 14)
+	sp1 := obs.NewSpans(tr1)
+	r := New(Config{Dir: dir, Every: 15_000, Spans: sp1, OnCheckpoint: func(string, uint64) {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}})
+	recs, err := r.Run(ctx, campaign(t, cycles))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SIGTERM run returned %v, want context.Canceled", err)
+	}
+	stop()
+	if recs[0].State != StateRunning {
+		t.Fatalf("first job not interrupted: %+v", recs[0])
+	}
+	// One cadence checkpoint (which delivered the SIGTERM) plus the
+	// interruption save.
+	if recs[0].Checkpoints < 2 {
+		t.Fatalf("interrupted job counted %d checkpoint writes, want >= 2", recs[0].Checkpoints)
+	}
+	if recs[0].Resumes != 0 || recs[0].Retries != 0 || recs[0].BackoffNs != 0 {
+		t.Fatalf("unexpected counters before resume: %+v", recs[0])
+	}
+	// The job span (and only it) is open at the kill; chunks never
+	// straddle a checkpoint.
+	open := sp1.Open()
+	if len(open) != 1 || open[0].Name != "job:"+recs[0].Name || open[0].Comp != obs.CompRunner {
+		t.Fatalf("open spans at interrupt = %+v, want only the job span", open)
+	}
+	interrupted := recs[0]
+
+	// Resume in a fresh process: new Runner, new span recorder.
+	tr2 := obs.NewTracer(1 << 14)
+	sp2 := obs.NewSpans(tr2)
+	recs2, err := New(Config{Dir: dir, Every: 15_000, Spans: sp2}).Run(context.Background(), campaign(t, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultsOf(recs2), resultsOf(ref); got != want {
+		t.Fatalf("resume with spans+counters perturbed results:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+	fin := recs2[0]
+	if fin.Resumes != 1 {
+		t.Fatalf("resumed job counted %d resumes, want 1", fin.Resumes)
+	}
+	if fin.Checkpoints <= interrupted.Checkpoints {
+		t.Fatalf("checkpoint counter reset across resume: %d -> %d", interrupted.Checkpoints, fin.Checkpoints)
+	}
+	if fin.Retries != 0 || fin.BackoffNs != 0 {
+		t.Fatalf("clean campaign accrued retries: %+v", fin)
+	}
+
+	// The reopened job span began at its checkpointed start cycle (0: the
+	// span opened when the fresh system started driving) and ended once.
+	var begins, ends int
+	for _, ev := range tr2.Events() {
+		if ev.Name != "job:"+fin.Name {
+			continue
+		}
+		switch ev.Kind {
+		case obs.EvSpanBegin:
+			begins++
+			if ev.Cycle != 0 {
+				t.Fatalf("reopened job span begins at cycle %d, want 0", ev.Cycle)
+			}
+		case obs.EvSpanEnd:
+			ends++
+			if ev.Cycle != cycles {
+				t.Fatalf("job span ends at cycle %d, want %d", ev.Cycle, cycles)
+			}
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("job span begin/end = %d/%d, want 1/1", begins, ends)
+	}
+	if n := len(sp2.Open()); n != 0 {
+		t.Fatalf("%d spans left open after the campaign completed", n)
+	}
+
+	// The counters are durable: the on-disk manifest agrees with the
+	// in-memory records.
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs[0].Checkpoints != fin.Checkpoints || m.Jobs[0].Resumes != fin.Resumes {
+		t.Fatalf("manifest counters diverge from records: %+v vs %+v", m.Jobs[0], fin)
+	}
+}
+
+// TestRunnerRetryCounters checks the retry path charges both the retry
+// counter and the deterministic backoff-delay accumulator: the recorded
+// BackoffNs must equal the BackoffDelay the supervisor actually slept.
+func TestRunnerRetryCounters(t *testing.T) {
+	cfg := Config{Retries: 2, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Seed: 7}
+	build := func(attempt int) (*sim.System, error) {
+		if attempt < 2 {
+			panic("flaky build")
+		}
+		return buildPair(t, config.Insecure)(attempt)
+	}
+	recs, err := New(cfg).Run(context.Background(), []Job{
+		{Name: "flaky", Cycles: 5_000, Build: build, Finish: finishStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recs[0]
+	if rec.State != StateDone || rec.Attempts != 3 {
+		t.Fatalf("flaky job: %+v", rec)
+	}
+	if rec.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", rec.Retries)
+	}
+	want := int64(BackoffDelay(cfg.Backoff, cfg.MaxBackoff, cfg.Seed, 0) +
+		BackoffDelay(cfg.Backoff, cfg.MaxBackoff, cfg.Seed, 1))
+	if rec.BackoffNs != want {
+		t.Fatalf("backoff ns = %d, want %d", rec.BackoffNs, want)
+	}
+}
+
+// TestWriteJobMetrics checks the Prometheus export carries every counter
+// with metadata, in deterministic order.
+func TestWriteJobMetrics(t *testing.T) {
+	recs := []JobRecord{
+		{Name: "a", State: StateDone, Cycles: 500, Total: 500, Attempts: 1, Checkpoints: 3, Resumes: 1},
+		{Name: "b", State: StateFailed, Cycles: 120, Total: 500, Attempts: 3, Retries: 2,
+			BackoffNs: int64(750 * time.Millisecond), Error: "boom"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobMetrics(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dagrunner_job_cycles_done ",
+		"# TYPE dagrunner_job_cycles_done gauge",
+		`dagrunner_job_cycles_done{job="a"} 500`,
+		"# TYPE dagrunner_job_retries_total counter",
+		`dagrunner_job_retries_total{job="b"} 2`,
+		`dagrunner_job_backoff_seconds_total{job="b"} 0.75`,
+		`dagrunner_job_checkpoint_writes_total{job="a"} 3`,
+		`dagrunner_job_resumes_total{job="a"} 1`,
+		`dagrunner_job_state{job="a",state="done"} 1`,
+		`dagrunner_job_state{job="a",state="failed"} 0`,
+		`dagrunner_job_state{job="b",state="failed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every # TYPE line names a metric exactly once, and the rendering is
+	// deterministic.
+	var buf2 bytes.Buffer
+	if err := WriteJobMetrics(&buf2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Fatal("WriteJobMetrics is not deterministic")
+	}
+	types := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types[strings.Fields(line)[2]]++
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Errorf("metric %s declared %d times", name, n)
+		}
+	}
+}

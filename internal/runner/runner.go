@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dagguise/internal/ckpt"
+	"dagguise/internal/obs"
 	"dagguise/internal/rng"
 	"dagguise/internal/sim"
 )
@@ -74,6 +75,12 @@ type Config struct {
 	// auto-checkpoint with the job name and its cycle position — an
 	// observability and test hook.
 	OnCheckpoint func(job string, cycle uint64)
+	// Spans, when set, is the shared flight-recorder span layer: the
+	// runner opens one span per job (lane = job index, reopened across
+	// checkpoint resumes via the sim state) and one child span per
+	// checkpoint chunk, and attaches the recorder to every system it
+	// materializes so spans open at a checkpoint reopen after restore.
+	Spans *obs.Spans
 }
 
 // JobState is a manifest lifecycle state.
@@ -86,7 +93,12 @@ const (
 	StateFailed  JobState = "failed"
 )
 
-// JobRecord is one job's manifest entry.
+// JobRecord is one job's manifest entry. The observability counters
+// (Retries, BackoffNs, Checkpoints, Resumes) live in the manifest
+// rather than in process memory so campaign progress is scrapeable via
+// WriteJobMetrics and survives a SIGTERM + resume exactly like the job
+// results do; omitempty keeps manifests written before these fields
+// existed loadable (absent decodes as zero).
 type JobRecord struct {
 	Name       string          `json:"name"`
 	State      JobState        `json:"state"`
@@ -96,6 +108,17 @@ type JobRecord struct {
 	Checkpoint string          `json:"checkpoint,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Error      string          `json:"error,omitempty"`
+
+	// Retries counts supervised retry decisions after retryable failures.
+	Retries uint64 `json:"retries,omitempty"`
+	// BackoffNs accumulates the deterministic backoff delay the job's
+	// retries were scheduled with, in nanoseconds.
+	BackoffNs int64 `json:"backoff_ns,omitempty"`
+	// Checkpoints counts successful checkpoint writes (auto-cadence and
+	// interruption saves alike).
+	Checkpoints uint64 `json:"checkpoint_writes,omitempty"`
+	// Resumes counts restores from a persisted checkpoint.
+	Resumes uint64 `json:"resumes,omitempty"`
 }
 
 // manifestVersion guards the manifest schema the same way ckpt.Version
@@ -158,7 +181,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobRecord, error) {
 			r.logf("job %s: previously failed (%s), skipping", rec.Name, rec.Error)
 			continue
 		}
-		if err := r.runJob(ctx, &jobs[i], rec, records); err != nil {
+		if err := r.runJob(ctx, &jobs[i], rec, records, i); err != nil {
 			// Interrupted: state is saved; surface the cancellation.
 			return records, err
 		}
@@ -168,11 +191,11 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]JobRecord, error) {
 
 // runJob supervises one job through retries and checkpoints. It returns an
 // error only when the context fired; job-level failures land in rec.
-func (r *Runner) runJob(ctx context.Context, job *Job, rec *JobRecord, all []JobRecord) error {
+func (r *Runner) runJob(ctx context.Context, job *Job, rec *JobRecord, all []JobRecord, idx int) error {
 	for {
 		sys, err := r.materialize(job, rec)
 		if err == nil {
-			err = r.drive(ctx, job, rec, all, sys)
+			err = r.drive(ctx, job, rec, all, sys, idx)
 		}
 		switch {
 		case err == nil:
@@ -186,7 +209,8 @@ func (r *Runner) runJob(ctx context.Context, job *Job, rec *JobRecord, all []Job
 		}
 		r.logf("job %s: attempt %d failed (%v); retrying after backoff", job.Name, rec.Attempts-1, err)
 		r.dropCheckpoint(rec)
-		if err := r.backoff(ctx, rec.Attempts-1); err != nil {
+		rec.Retries++
+		if err := r.backoff(ctx, rec.Attempts-1, rec); err != nil {
 			return err
 		}
 	}
@@ -207,6 +231,12 @@ func (r *Runner) materialize(job *Job, rec *JobRecord) (sys *sim.System, err err
 	if err != nil {
 		return nil, fmt.Errorf("runner: job %q build: %w", job.Name, err)
 	}
+	if r.cfg.Spans != nil {
+		// Attach before restoring so spans captured in the checkpoint
+		// (the job span, any sim-side spans) reopen into the shared
+		// recorder with their original IDs and start cycles.
+		sys.TraceSpans(r.cfg.Spans)
+	}
 	if rec.Checkpoint != "" && r.cfg.Dir != "" {
 		st, lerr := ckpt.Load(filepath.Join(r.cfg.Dir, rec.Checkpoint))
 		if lerr != nil {
@@ -215,28 +245,49 @@ func (r *Runner) materialize(job *Job, rec *JobRecord) (sys *sim.System, err err
 		if rerr := sys.RestoreState(st); rerr != nil {
 			return nil, fmt.Errorf("runner: job %q resume: %w", job.Name, rerr)
 		}
+		rec.Resumes++
 		r.logf("job %s: resumed from %s at cycle %d", job.Name, rec.Checkpoint, sys.Now())
 	}
 	return sys, nil
 }
 
+// jobSpan returns the job's flight-recorder span: the one the checkpoint
+// restore reopened when resuming, or a freshly opened root span on the
+// job's own lane (Perfetto thread = campaign index) otherwise.
+func (r *Runner) jobSpan(name string, idx int, sys *sim.System) uint64 {
+	if r.cfg.Spans == nil {
+		return 0
+	}
+	for _, o := range r.cfg.Spans.Open() {
+		if o.Comp == obs.CompRunner && o.Name == "job:"+name {
+			return o.ID
+		}
+	}
+	return r.cfg.Spans.Begin("job:"+name, obs.CompRunner, int32(idx), 0, 0, sys.Now())
+}
+
 // drive advances the system to the job's cycle target in checkpoint-sized
 // chunks, persisting a snapshot and the manifest after each. Panics in the
 // tick loop or in Finish are converted to errors.
-func (r *Runner) drive(ctx context.Context, job *Job, rec *JobRecord, all []JobRecord, sys *sim.System) (err error) {
+func (r *Runner) drive(ctx context.Context, job *Job, rec *JobRecord, all []JobRecord, sys *sim.System, idx int) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &panicError{job: job.Name, stage: "run", val: p}
 		}
 	}()
 	rec.State = StateRunning
+	jobSpan := r.jobSpan(job.Name, idx, sys)
 	for sys.Now() < job.Cycles {
 		chunk := job.Cycles - sys.Now()
 		if r.cfg.Every > 0 && chunk > r.cfg.Every {
 			chunk = r.cfg.Every
 		}
+		cs := r.cfg.Spans.Begin("chunk", obs.CompRunner, int32(idx), 0, jobSpan, sys.Now())
 		runErr := sys.RunCheckedCtx(ctx, chunk)
 		rec.Cycles = sys.Now()
+		// Chunk spans never straddle a checkpoint: close before saving so
+		// only the job span reopens on resume.
+		r.cfg.Spans.End(cs, sys.Now())
 		if runErr != nil {
 			if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 				// Interrupted: persist a final checkpoint so the next
@@ -264,6 +315,7 @@ func (r *Runner) drive(ctx context.Context, job *Job, rec *JobRecord, all []JobR
 	rec.State = StateDone
 	rec.Cycles = sys.Now()
 	rec.Result = result
+	r.cfg.Spans.End(jobSpan, sys.Now())
 	r.dropCheckpoint(rec)
 	r.logf("job %s: done at cycle %d", job.Name, rec.Cycles)
 	return r.saveManifest(all)
@@ -331,10 +383,14 @@ func BackoffDelay(base, max time.Duration, seed int64, attempt int) time.Duratio
 	return d/2 + time.Duration(jit.Int63n(int64(d/2)+1))
 }
 
-// backoff sleeps for BackoffDelay of the attempt, honouring cancellation.
-func (r *Runner) backoff(ctx context.Context, attempt int) error {
+// backoff sleeps for BackoffDelay of the attempt, honouring cancellation,
+// and charges the scheduled delay to the job's backoff counter (counted
+// even when cancellation cuts the sleep short — the delay was committed).
+func (r *Runner) backoff(ctx context.Context, attempt int, rec *JobRecord) error {
+	d := BackoffDelay(r.cfg.Backoff, r.cfg.MaxBackoff, r.cfg.Seed, attempt)
+	rec.BackoffNs += int64(d)
 	select {
-	case <-time.After(BackoffDelay(r.cfg.Backoff, r.cfg.MaxBackoff, r.cfg.Seed, attempt)):
+	case <-time.After(d):
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -357,6 +413,7 @@ func (r *Runner) saveCheckpoint(sys *sim.System, rec *JobRecord, all []JobRecord
 		return err
 	}
 	rec.Checkpoint = name
+	rec.Checkpoints++
 	return r.saveManifest(all)
 }
 

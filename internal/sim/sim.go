@@ -79,8 +79,10 @@ type System struct {
 
 	// Observability (nil = off); measurement only, never consulted by the
 	// simulated machine (see TestObservabilityNonInterference).
-	mx *obs.Registry
-	tr *obs.Tracer
+	mx    *obs.Registry
+	tr    *obs.Tracer
+	prof  *obs.CycleProfile
+	spans *obs.Spans
 
 	// Leakage-audit taps per domain (nil map = off); like mx/tr they are
 	// write-only from the machine's perspective (see
@@ -347,10 +349,18 @@ func (s *System) TickChecked() error { return s.tick() }
 
 func (s *System) tick() error {
 	now := s.now
+	// The profiler is a telescoping lap clock: each Lap charges the time
+	// since the previous lap (anywhere) to its bucket. Lapping PBHarness
+	// first attributes everything since the last tick ended — the caller's
+	// loop, checkProgress, bench harness glue — to the harness bucket, so
+	// the per-component buckets stay pure and the report explains ~100%
+	// of wall time.
+	s.prof.Lap(obs.PBHarness)
 	s.portErr = nil
 	for _, c := range s.cores {
 		c.Tick(now)
 	}
+	s.prof.Lap(obs.PBCPU)
 	if s.portErr != nil {
 		return s.errf(InvariantProtocol, 0, s.portErr, "request misrouted at core port")
 	}
@@ -358,9 +368,11 @@ func (s *System) tick() error {
 		var emitted []mem.Request
 		if sh, ok := s.shapers[dom]; ok {
 			emitted = sh.Tick(now)
+			s.prof.Lap(obs.PBShaper)
 		}
 		if sh, ok := s.camos[dom]; ok {
 			emitted = append(emitted, sh.Tick(now)...)
+			s.prof.Lap(obs.PBCamouflage)
 		}
 		if s.traceOn {
 			for _, req := range emitted {
@@ -402,7 +414,11 @@ func (s *System) tick() error {
 			return s.errf(InvariantLivelock, dom, nil,
 				"egress queue depth %d exceeds high-water mark %d", len(q), s.wd.EgressHighWater)
 		}
+		s.prof.Lap(obs.PBEgress)
 	}
+	// ctrl.Tick laps its own interior (sched picks -> PBSched, device
+	// service -> PBDRAM, bookkeeping/drain -> PBMemctrl) on the shared
+	// profiler, telescoping seamlessly with the laps here.
 	resps := s.ctrl.Tick(now)
 	// Fault layer on the controller→core boundary: withhold responses
 	// covered by a delay/drop window and redeliver the ones that are due.
@@ -442,6 +458,7 @@ func (s *System) tick() error {
 			return s.errf(InvariantProtocol, resp.Domain, err, "response routing failed")
 		}
 	}
+	s.prof.Lap(obs.PBRoute)
 	s.now++
 	return s.checkProgress(len(resps) > 0)
 }
@@ -629,6 +646,27 @@ func (s *System) Observe(mx *obs.Registry, tr *obs.Tracer) {
 	}
 }
 
+// Profile attaches a cycle-attribution profiler (nil = off) to the tick
+// loop and the memory controller. Like Observe it is measurement only:
+// laps read the wall clock and write profiler-private buckets, nothing
+// in the simulated machine consults them, so shaped egress is
+// bit-identical with profiling on or off (pinned by the full-on
+// non-interference test).
+func (s *System) Profile(p *obs.CycleProfile) {
+	s.prof = p
+	s.ctrl.Profile(p)
+}
+
+// TraceSpans attaches a span recorder (nil = off). The simulator itself
+// opens spans only at measurement granularity (Measure's warmup/window
+// phases); callers like the campaign runner layer job/chunk spans on
+// the same recorder, and SaveState captures spans open at checkpoint
+// time so they reopen identically after RestoreState.
+func (s *System) TraceSpans(sp *obs.Spans) { s.spans = sp }
+
+// Spans returns the attached span recorder (nil when disabled).
+func (s *System) Spans() *obs.Spans { return s.spans }
+
 // AuditResponses attaches a leakage-audit tap to the domain: every
 // controller response for the domain is recorded as (completion cycle,
 // gap since the domain's previous completion) — the response-timing stream
@@ -767,14 +805,20 @@ func (s *System) measure(warmup, window uint64, checked bool) (Result, error) {
 // measureWith is the measurement core, parameterised over the run loop so
 // the context-aware form shares the exact accounting.
 func (s *System) measureWith(run func(uint64) error, warmup, window uint64) (Result, error) {
+	root := s.spans.Begin("measure", obs.CompSystem, 0, 0, 0, s.now)
+	warm := s.spans.Begin("warmup", obs.CompSystem, 0, 0, root, s.now)
 	if err := run(warmup); err != nil {
 		return Result{}, err
 	}
+	s.spans.End(warm, s.now)
 	before := s.snap()
 	mxBefore := s.mx.Snapshot()
+	win := s.spans.Begin("window", obs.CompSystem, 0, 0, root, s.now)
 	if err := run(window); err != nil {
 		return Result{}, err
 	}
+	s.spans.End(win, s.now)
+	s.spans.End(root, s.now)
 	after := s.snap()
 
 	cycles := after.cycle - before.cycle
