@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dagguise/internal/ckpt"
+	"dagguise/internal/fleet"
+	"dagguise/internal/obs"
+	"dagguise/internal/runner"
+)
+
+// fleetFlags selects and shapes fleet mode: instead of per-campaign fault
+// injection on a two-core machine, dagchaos fans a multi-channel,
+// many-tenant non-interference sweep over a worker pool (internal/fleet).
+type fleetFlags struct {
+	shards   int
+	workers  int
+	channels int
+	domains  int
+}
+
+func registerFleetFlags() *fleetFlags {
+	f := &fleetFlags{}
+	flag.IntVar(&f.shards, "shards", 0, "fleet mode: split each (scheme, seed) cell into this many channel-slice shards (0 = fleet mode off)")
+	flag.IntVar(&f.workers, "workers", 0, "fleet mode: worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&f.channels, "channels", 4, "fleet mode: memory channels in the multi-channel machine")
+	flag.IntVar(&f.domains, "domains", 100, "fleet mode: tenant security domains")
+	return f
+}
+
+// runFleet is the fleet-mode main: build the sweep, run it under signal
+// supervision, print per-scheme verdicts, enforce the audit gate. Exit
+// codes match campaign mode: 0 clean, 1 failure, 2 usage, 3 interrupted
+// (resumable by re-running with the same flags and -checkpoint-dir).
+func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, cycles uint64,
+	dir string, every uint64, retries int, timeout time.Duration,
+	out, traceOut string, wantSpans, metrics bool) int {
+	if campaigns <= 0 {
+		fmt.Fprintln(os.Stderr, "dagchaos: fleet mode needs -campaigns >= 1")
+		return 2
+	}
+	seeds := make([]int64, campaigns)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	sweep := fleet.DefaultSweep(f.channels, f.domains, seeds, cycles)
+	switch schemeFlag {
+	case "all":
+	case "insecure", "dagguise":
+		sweep.Schemes = []string{schemeFlag}
+	default:
+		fmt.Fprintf(os.Stderr, "dagchaos: fleet mode simulates only -scheme all, insecure or dagguise (got %q)\n", schemeFlag)
+		return 2
+	}
+	// -shards is the slice count per cell; the sweep wants the slice width.
+	if f.shards > f.channels {
+		f.shards = f.channels
+	}
+	sweep.SliceChannels = (f.channels + f.shards - 1) / f.shards
+
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "dagchaos-fleet-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Fprintf(os.Stderr, "dagchaos: no -checkpoint-dir; using throwaway manifest dir %s (not resumable)\n", tmp)
+		dir = tmp
+	}
+
+	var mx *obs.Registry
+	if metrics {
+		mx = obs.NewRegistry(1)
+	}
+	var tr *obs.Tracer
+	if traceOut != "" {
+		tr = obs.NewTracer(0)
+	}
+	var sp *obs.Spans
+	if wantSpans {
+		sp = obs.NewSpans(tr)
+	}
+
+	ctx, stop := runner.WithSignals(context.Background())
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	rep, err := fleet.Run(ctx, sweep, fleet.Options{
+		Workers:         f.workers,
+		Dir:             dir,
+		CheckpointEvery: every,
+		Retries:         retries,
+		Backoff:         100 * time.Millisecond,
+		MaxBackoff:      5 * time.Second,
+		Log:             os.Stderr,
+		Spans:           sp,
+		Mx:              mx,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "dagchaos: fleet interrupted (%v); manifest saved, rerun with the same flags and -checkpoint-dir %s to resume\n", err, dir)
+			return 3
+		}
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+
+	for _, v := range rep.Verdicts {
+		status := "ok  "
+		if v.Secure == v.Interference {
+			status = "FAIL"
+		}
+		verdict := "no interference"
+		if v.Interference {
+			verdict = "interference detected"
+		}
+		fmt.Printf("%s  %-10s shards=%-3d %s\n", status, v.Scheme, v.Shards, verdict)
+	}
+	fmt.Printf("fleet: %d shards, %d tenants x %d channels, %d cycles each, %d requests completed\n",
+		rep.Totals.Shards, f.domains, f.channels, cycles, rep.Totals.Completed)
+
+	if out != "" {
+		blob, err := rep.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			return 1
+		}
+		if err := ckpt.WriteFileAtomic(out, blob); err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "dagchaos: wrote fleet report to %s\n", out)
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Print(obs.FormatSummary(mx.Snapshot(), 0))
+	}
+	if tr != nil {
+		if err := obs.WriteChromeTraceFile(traceOut, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "dagchaos: wrote %d trace events to %s\n", tr.Len(), traceOut)
+	}
+	if err := rep.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+	return 0
+}

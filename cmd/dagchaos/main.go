@@ -29,6 +29,15 @@
 //	dagchaos -checkpoint-dir state -checkpoint-every 50000 -out results.json
 //	dagchaos -checkpoint-dir state -resume -out results.json   # after a kill
 //
+// With -shards it instead drives the sharded campaign fabric
+// (internal/fleet): a multi-channel, many-tenant non-interference sweep is
+// split into (scheme x seed x channel-slice) shards, fanned over a worker
+// pool, checkpointed per shard, and merged into one byte-stable report. A
+// SIGKILL'd fleet resumes from its manifest and merges to identical bytes:
+//
+//	dagchaos -shards 4 -workers 8 -channels 4 -domains 100 \
+//	    -cycles 20000 -checkpoint-dir fleetdir -out report.json
+//
 // With -target it instead becomes a traffic generator against a running
 // dagauditd leakage-audit service: deterministic tenant streams (real
 // simulated tap streams and/or synthetic leaky/clean tenants) are pushed
@@ -121,12 +130,20 @@ func main() {
 	spansFlag := flag.Bool("spans", false, "record runner job/chunk spans (exported with -trace-out; IDs survive checkpoint resume)")
 	cycleProfFlag := flag.Bool("cycle-profile", false, "print the per-component cycle-attribution table after the sweep")
 	topts := registerTrafficFlags()
+	fopts := registerFleetFlags()
 	flag.Parse()
 
 	// -target switches dagchaos from torturing the simulator to torturing
 	// a running dagauditd instance (see traffic.go).
 	if topts.target != "" {
 		os.Exit(runTraffic(topts, *baseSeed))
+	}
+	// -shards switches dagchaos to fleet mode: a sharded multi-channel,
+	// many-tenant non-interference sweep over a worker pool (see fleet.go).
+	if fopts.shards > 0 {
+		os.Exit(runFleet(fopts, *schemeFlag, *campaigns, *baseSeed, *cycles,
+			*ckptDir, *ckptEvery, *retries, *timeout,
+			*out, *traceOut, *spansFlag, *metrics))
 	}
 
 	if *pprofAddr != "" {

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dagguise/internal/eval"
@@ -45,7 +47,16 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "persist completed measurements here so an interrupted sweep can resume")
 	resume := flag.Bool("resume", false, "resume a sweep from -checkpoint-dir, skipping measurements already done")
 	timeout := flag.Duration("timeout", 0, "stop the sweep after this long (0 = no deadline); combine with -checkpoint-dir to resume later")
+	workers := flag.Int("workers", 1, "parallel per-app figure rows (0 = GOMAXPROCS); output is identical at any worker count")
 	flag.Parse()
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers > 1 && (*cycleProf || *cycleProfOut != "") {
+		fmt.Fprintln(os.Stderr, "dagsim: cycle profiling is lap-clocked and single-threaded; forcing -workers 1")
+		*workers = 1
+	}
 
 	ctx, cancel := runner.WithSignals(context.Background())
 	defer cancel()
@@ -55,7 +66,7 @@ func main() {
 		defer tcancel()
 	}
 
-	opts := eval.Options{Warmup: *warmup, Window: *window, Ctx: ctx}
+	opts := eval.Options{Warmup: *warmup, Window: *window, Ctx: ctx, Workers: *workers}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
@@ -105,8 +116,10 @@ func main() {
 		prof = obs.NewCycleProfile()
 	}
 	if mx != nil || tr != nil || prof != nil {
+		// Attach can run from parallel row workers; registry and tracer are
+		// thread-safe and the cycle counter is atomic.
 		opts.Attach = func(sys *sim.System) {
-			simCycles += *warmup + *window
+			atomic.AddUint64(&simCycles, *warmup+*window)
 			sys.Observe(mx, tr)
 			sys.Profile(prof)
 		}
@@ -119,12 +132,12 @@ func main() {
 	defer func() {
 		if *metrics {
 			fmt.Println()
-			fmt.Print(obs.FormatSummary(mx.Snapshot(), simCycles))
+			fmt.Print(obs.FormatSummary(mx.Snapshot(), atomic.LoadUint64(&simCycles)))
 		}
 		if prof != nil {
 			// Coverage is against the whole sweep wall clock, so per-run
 			// build and evaluation glue lands in the harness bucket.
-			rep := prof.Report(time.Since(start), simCycles)
+			rep := prof.Report(time.Since(start), atomic.LoadUint64(&simCycles))
 			if *cycleProf {
 				fmt.Println()
 				fmt.Print(rep.String())

@@ -1,0 +1,146 @@
+package config
+
+import (
+	"errors"
+	"testing"
+
+	"dagguise/internal/mem"
+	"dagguise/internal/rdag"
+)
+
+func TestDefaultMultiChannelValid(t *testing.T) {
+	for _, scheme := range []Scheme{Insecure, DAGguise} {
+		for _, channels := range []int{1, 2, 4} {
+			for _, domains := range []int{1, 2, 100, 257} {
+				cfg := DefaultMultiChannel(channels, domains, scheme)
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("DefaultMultiChannel(%d, %d, %s): %v", channels, domains, scheme, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiChannelValidation is the table of operator-facing failure modes,
+// each pinned to its typed sentinel so callers can errors.Is on them.
+func TestMultiChannelValidation(t *testing.T) {
+	valid := func() MultiChannelConfig { return DefaultMultiChannel(4, 100, DAGguise) }
+	cases := []struct {
+		name   string
+		mutate func(*MultiChannelConfig)
+		want   error // nil = any error acceptable, checked non-nil only
+	}{
+		{
+			name:   "zero channels",
+			mutate: func(c *MultiChannelConfig) { c.Channels = 0 },
+			want:   ErrZeroChannels,
+		},
+		{
+			name:   "negative channels",
+			mutate: func(c *MultiChannelConfig) { c.Channels = -3 },
+			want:   ErrZeroChannels,
+		},
+		{
+			name:   "domains exceed routing width",
+			mutate: func(c *MultiChannelConfig) { c.Domains = mem.RoutingWidth },
+			want:   ErrDomainsExceedRouting,
+		},
+		{
+			name: "domain count at routing boundary is accepted",
+			mutate: func(c *MultiChannelConfig) {
+				c.Domains = mem.RoutingWidth - 1
+				c.Protected = 4
+			},
+			want: nil,
+		},
+		{
+			name:   "too few defense templates",
+			mutate: func(c *MultiChannelConfig) { c.ChannelDefenses = c.ChannelDefenses[:2] },
+			want:   ErrChannelSpecMismatch,
+		},
+		{
+			name: "too many defense templates",
+			mutate: func(c *MultiChannelConfig) {
+				c.ChannelDefenses = append(c.ChannelDefenses, c.ChannelDefenses[0])
+			},
+			want: ErrChannelSpecMismatch,
+		},
+		{
+			name: "defense banks mismatch channel geometry",
+			mutate: func(c *MultiChannelConfig) {
+				c.ChannelDefenses[1].Banks = 2 * c.Geometry.Banks
+			},
+			want: ErrChannelSpecMismatch,
+		},
+		{
+			name: "insecure scheme with stray partial templates",
+			mutate: func(c *MultiChannelConfig) {
+				c.Scheme = Insecure
+				c.ChannelDefenses = c.ChannelDefenses[:1]
+			},
+			want: ErrChannelSpecMismatch,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.want == nil {
+				if tc.name == "domain count at routing boundary is accepted" {
+					if err != nil {
+						t.Fatalf("unexpected error: %v", err)
+					}
+					return
+				}
+			}
+			if err == nil {
+				t.Fatal("validation accepted a broken config")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(..., %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMultiChannelValidationUntypedFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*MultiChannelConfig)
+	}{
+		{"zero domains", func(c *MultiChannelConfig) { c.Domains = 0 }},
+		{"protected exceeds domains", func(c *MultiChannelConfig) { c.Protected = c.Domains + 1 }},
+		{"zero queue depth", func(c *MultiChannelConfig) { c.QueueDepth = 0 }},
+		{"zero shaper depth", func(c *MultiChannelConfig) { c.ShaperDepth = 0 }},
+		{"multi-channel per-channel geometry", func(c *MultiChannelConfig) { c.Geometry.Channels = 2 }},
+		{"broken geometry", func(c *MultiChannelConfig) { c.Geometry.Banks = 3 }},
+		{"broken timing", func(c *MultiChannelConfig) { c.Timing.ClockRatio = 0 }},
+		{"broken defense template", func(c *MultiChannelConfig) { c.ChannelDefenses[0].Sequences = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultMultiChannel(4, 16, DAGguise)
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("validation accepted a broken config")
+			}
+		})
+	}
+}
+
+func TestDefaultMultiChannelDefensesCoverBanks(t *testing.T) {
+	cfg := DefaultMultiChannel(4, 32, DAGguise)
+	if len(cfg.ChannelDefenses) != 4 {
+		t.Fatalf("got %d defense templates, want 4", len(cfg.ChannelDefenses))
+	}
+	banks := cfg.Geometry.Ranks * cfg.Geometry.Banks
+	for ch, tpl := range cfg.ChannelDefenses {
+		if tpl.Banks != banks {
+			t.Fatalf("channel %d template covers %d banks, want %d", ch, tpl.Banks, banks)
+		}
+		if _, err := rdag.NewPatternDriver(tpl); err != nil {
+			t.Fatalf("channel %d template does not drive: %v", ch, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"dagguise/internal/ckpt"
 )
@@ -18,7 +19,10 @@ const runCacheVersion = 1
 // an interrupted figure sweep rerun with the same options skips straight to
 // the first unmeasured configuration. Simulations are deterministic, so a
 // cached entry is exactly what rerunning the simulation would produce.
+// RunCache is safe for concurrent use: parallel figure sweeps (Options.
+// Workers > 1) share one cache.
 type RunCache struct {
+	mu      sync.Mutex
 	path    string
 	entries map[string]SchemeIPCs
 }
@@ -53,9 +57,15 @@ func OpenRunCache(path string) (*RunCache, error) {
 }
 
 // Len returns the number of cached measurements.
-func (c *RunCache) Len() int { return len(c.entries) }
+func (c *RunCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 func (c *RunCache) get(key string) (SchemeIPCs, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.entries[key]
 	return v, ok
 }
@@ -63,6 +73,8 @@ func (c *RunCache) get(key string) (SchemeIPCs, bool) {
 // put records a completed measurement and persists the cache atomically, so
 // a kill between measurements never loses finished work.
 func (c *RunCache) put(key string, v SchemeIPCs) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.entries[key] = v
 	data, err := json.MarshalIndent(runCacheFile{Version: runCacheVersion, Entries: c.entries}, "", "  ")
 	if err != nil {

@@ -8,6 +8,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"dagguise/internal/attack"
 	"dagguise/internal/audit"
@@ -41,6 +42,13 @@ type Options struct {
 	// Cache, when non-nil, resumes figure sweeps: completed (figure, app,
 	// scheme) measurements are persisted immediately and skipped on rerun.
 	Cache *RunCache
+	// Workers parallelizes the per-app rows of the figure sweeps over a
+	// bounded goroutine pool (<= 1 = sequential). Rows are independent
+	// simulations with per-app seeds and results are assembled in app
+	// order, so the output is identical at any worker count. Callers
+	// attaching a non-thread-safe observer (obs.CycleProfile) must keep
+	// this at 1.
+	Workers int
 }
 
 // DefaultOptions returns windows long enough for stable IPCs: the window
@@ -120,6 +128,48 @@ func appMaker(name string, seed int64) specMaker {
 	}
 }
 
+// forEachApp runs fn for every app index over a pool of opts.Workers
+// goroutines, returning the first error by app order. fn writes its row
+// into caller-owned slices at its index, so the assembled output never
+// depends on scheduling.
+func forEachApp(apps []string, opts Options, fn func(i int, app string) error) error {
+	workers := opts.Workers
+	if workers <= 1 || len(apps) <= 1 {
+		for i, app := range apps {
+			if err := fn(i, app); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	errs := make([]error, len(apps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i, apps[i])
+			}
+		}()
+	}
+	for i := range apps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SchemeIPCs holds per-core IPCs of one scheme run.
 type SchemeIPCs struct {
 	IPCs      []float64
@@ -188,13 +238,12 @@ func Figure9(opts Options) (*Figure9Result, error) {
 	if len(apps) == 0 {
 		apps = workload.Names()
 	}
-	res := &Figure9Result{}
-	var fsAvgs, dagAvgs []float64
+	res := &Figure9Result{Rows: make([]Figure9Row, len(apps))}
 	mkVic, err := docdistMaker(11)
 	if err != nil {
 		return nil, err
 	}
-	for i, app := range apps {
+	err = forEachApp(apps, opts, func(i int, app string) error {
 		mkCo := appMaker(app, int64(i)+21)
 		specs := func(protected bool) ([]sim.CoreSpec, error) {
 			v, err := mkVic()
@@ -210,27 +259,27 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		}
 		insSpecs, err := specs(false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := runSystem("fig9/"+app+"/insecure", config.Insecure, insSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fsSpecs, err := specs(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fs, err := runSystem("fig9/"+app+"/fs-bta", config.FSBTA, fsSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dagSpecs, err := specs(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dag, err := runSystem("fig9/"+app+"/dagguise", config.DAGguise, dagSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Figure9Row{App: app}
 		row.FSBTAVictim = fs.IPCs[0] / base.IPCs[0]
@@ -239,7 +288,14 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		row.DAGguiseVictim = dag.IPCs[0] / base.IPCs[0]
 		row.DAGguiseSpec = dag.IPCs[1] / base.IPCs[1]
 		row.DAGguiseAvg = (row.DAGguiseVictim + row.DAGguiseSpec) / 2
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fsAvgs, dagAvgs []float64
+	for _, row := range res.Rows {
 		fsAvgs = append(fsAvgs, row.FSBTAAvg)
 		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
 	}
@@ -275,8 +331,7 @@ func Figure10(opts Options) (*Figure10Result, error) {
 	if len(apps) == 0 {
 		apps = workload.Names()
 	}
-	res := &Figure10Result{}
-	var fsAvgs, dagAvgs []float64
+	res := &Figure10Result{Rows: make([]Figure10Row, len(apps))}
 	d1, err := docdistMaker(11)
 	if err != nil {
 		return nil, err
@@ -294,7 +349,7 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		return nil, err
 	}
 	victims := []specMaker{d1, n1, d2, n2}
-	for i, app := range apps {
+	err = forEachApp(apps, opts, func(i int, app string) error {
 		build := func(protected bool) ([]sim.CoreSpec, error) {
 			var specs []sim.CoreSpec
 			for _, mk := range victims {
@@ -315,27 +370,27 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		}
 		insSpecs, err := build(false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := runSystem("fig10/"+app+"/insecure", config.Insecure, insSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fsSpecs, err := build(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fs, err := runSystem("fig10/"+app+"/fs-bta", config.FSBTA, fsSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dagSpecs, err := build(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dag, err := runSystem("fig10/"+app+"/dagguise", config.DAGguise, dagSpecs, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Figure10Row{App: app}
 		var fsAll, dagAll []float64
@@ -359,7 +414,14 @@ func Figure10(opts Options) (*Figure10Result, error) {
 		row.DAGguiseVictims = stats.Mean(dagVic)
 		row.FSBTASpec = stats.Mean(fsSpec)
 		row.DAGguiseSpec = stats.Mean(dagSpec)
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fsAvgs, dagAvgs []float64
+	for _, row := range res.Rows {
 		fsAvgs = append(fsAvgs, row.FSBTAAvg)
 		dagAvgs = append(dagAvgs, row.DAGguiseAvg)
 	}

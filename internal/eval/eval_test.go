@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -165,5 +166,25 @@ func TestFigure7Quick(t *testing.T) {
 func TestDefaultDefenseIsValid(t *testing.T) {
 	if err := DefaultDefense().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFigure9WorkerCountInvariant pins that the parallel per-app fan-out
+// changes nothing in the results: rows are independently seeded and
+// assembled in app order, so any worker count produces identical numbers.
+func TestFigure9WorkerCountInvariant(t *testing.T) {
+	opts := quickOpts()
+	opts.Apps = []string{"lbm", "xz", "roms"}
+	solo, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 3
+	many, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo, many) {
+		t.Fatalf("Figure9 depends on worker count:\n1 worker:  %+v\n3 workers: %+v", solo, many)
 	}
 }

@@ -1,0 +1,145 @@
+// Package fleet is the sharded campaign fabric: it fans a multi-channel,
+// multi-tenant non-interference sweep out over a worker pool with a
+// fsync'd work-queue manifest, per-shard deterministic checkpoints and a
+// deterministic merge, so one invocation saturates every core and a
+// SIGKILL'd fleet resumes to the byte.
+//
+// The unit of work is the shard: one (scheme, seed, channel-slice) cell of
+// the sweep, executed as a twin pair of sim.Cluster runs whose protected
+// tenants encode two different secrets. A shard's result is a pure
+// function of its descriptor — worker count, completion order, retries and
+// crash/resume cycles can change nothing in the merged report.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dagguise/internal/config"
+)
+
+// Shard is one work-queue entry: a (scheme, seed, channel-slice) cell.
+type Shard struct {
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+	Seed   int64  `json:"seed"`
+	ChanLo int    `json:"chan_lo"`
+	ChanHi int    `json:"chan_hi"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// Sweep describes a whole campaign: the cross product of schemes, seeds
+// and channel slices over one multi-channel machine.
+type Sweep struct {
+	// Schemes are evaluation scheme names (config.ParseScheme); the
+	// Config's own Scheme field is overridden per shard.
+	Schemes []string `json:"schemes"`
+	// Seeds are the base seeds; every tenant and shaper stream of a shard
+	// is derived from its shard's seed via rng.Derive.
+	Seeds []int64 `json:"seeds"`
+	// Cycles is the simulated length of every shard.
+	Cycles uint64 `json:"cycles"`
+	// SliceChannels is the number of channels per shard slice; the last
+	// slice takes the remainder. Zero puts all channels in one shard.
+	SliceChannels int `json:"slice_channels"`
+	// SecretA and SecretB are the twin-run secrets the protected tenants
+	// encode; the non-interference verdict compares their digests.
+	SecretA int `json:"secret_a"`
+	SecretB int `json:"secret_b"`
+	// Config is the machine; its Scheme field is ignored.
+	Config config.MultiChannelConfig `json:"config"`
+}
+
+// DefaultSweep returns a two-scheme (insecure vs DAGguise) sweep over the
+// default multi-channel machine, the shape the CI gate runs.
+func DefaultSweep(channels, domains int, seeds []int64, cycles uint64) Sweep {
+	return Sweep{
+		Schemes:       []string{config.Insecure.String(), config.DAGguise.String()},
+		Seeds:         seeds,
+		Cycles:        cycles,
+		SliceChannels: 1,
+		SecretA:       11,
+		SecretB:       12,
+		Config:        config.DefaultMultiChannel(channels, domains, config.DAGguise),
+	}
+}
+
+// Validate checks the sweep.
+func (s Sweep) Validate() error {
+	if len(s.Schemes) == 0 {
+		return fmt.Errorf("fleet: sweep has no schemes")
+	}
+	for _, name := range s.Schemes {
+		if _, err := config.ParseScheme(name); err != nil {
+			return err
+		}
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("fleet: sweep has no seeds")
+	}
+	if s.Cycles == 0 {
+		return fmt.Errorf("fleet: sweep has zero cycles")
+	}
+	if s.SliceChannels < 0 {
+		return fmt.Errorf("fleet: negative slice width %d", s.SliceChannels)
+	}
+	if s.SecretA == s.SecretB {
+		return fmt.Errorf("fleet: twin secrets must differ, both are %d", s.SecretA)
+	}
+	cfg := s.Config
+	for _, name := range s.Schemes {
+		scheme, _ := config.ParseScheme(name)
+		cfg.Scheme = scheme
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("fleet: sweep config under scheme %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Shards expands the sweep into its ordered shard list: schemes in sweep
+// order, seeds in sweep order, channel slices low to high. The order is
+// part of the manifest contract — workers claim lowest-index first.
+func (s Sweep) Shards() ([]Shard, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	width := s.SliceChannels
+	if width == 0 || width > s.Config.Channels {
+		width = s.Config.Channels
+	}
+	var out []Shard
+	for _, scheme := range s.Schemes {
+		for _, seed := range s.Seeds {
+			for lo := 0; lo < s.Config.Channels; lo += width {
+				hi := lo + width
+				if hi > s.Config.Channels {
+					hi = s.Config.Channels
+				}
+				out = append(out, Shard{
+					Name:   fmt.Sprintf("%s-seed%d-ch%02d-%02d", scheme, seed, lo, hi),
+					Scheme: scheme,
+					Seed:   seed,
+					ChanLo: lo,
+					ChanHi: hi,
+					Cycles: s.Cycles,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fingerprint hashes the sweep specification. A manifest records it so a
+// resume against a changed sweep is rejected instead of silently merging
+// incompatible shards.
+func (s Sweep) Fingerprint() (string, error) {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

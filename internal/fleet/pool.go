@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"dagguise/internal/obs"
+	"dagguise/internal/runner"
+)
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Dir holds the manifest and the per-shard checkpoint frames.
+	Dir string
+	// CheckpointEvery is the per-shard checkpoint interval in simulated
+	// cycles (0 = no mid-shard checkpoints; shards still resume at shard
+	// granularity via the manifest).
+	CheckpointEvery uint64
+	// Retries is how many times a failing shard is retried before it is
+	// marked failed; between attempts the worker sleeps
+	// runner.BackoffDelay (deterministic capped exponential, seeded by
+	// the shard).
+	Retries int
+	// Backoff and MaxBackoff bound the retry delay.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Log receives progress lines (nil = quiet). Log output is wall-clock
+	// ordered and is not part of any byte-stable artifact.
+	Log io.Writer
+	// Spans, when set, records one span per shard attempt on the runner
+	// lane of the flight recorder.
+	Spans *obs.Spans
+	// Mx, when set, receives fleet counters (shards done/failed/retried,
+	// checkpoints, resumes) under domain 0.
+	Mx *obs.Registry
+}
+
+// Pool executes a sweep's manifest over a worker pool. All manifest
+// mutation happens under one mutex and every transition is saved durably
+// before the work proceeds, so a SIGKILL at any instant leaves a queue the
+// next incarnation resumes exactly.
+type pool struct {
+	opts     Options
+	sweep    Sweep
+	manifest *Manifest
+	path     string
+	mu       sync.Mutex
+}
+
+// Run executes the sweep: it creates or resumes the manifest in opts.Dir,
+// fans the pending shards out over the worker pool, and merges the
+// completed manifest into the byte-stable report. On context cancellation
+// it returns ctx.Err() after parking claimed shards back to pending; a
+// subsequent Run with the same sweep resumes them.
+func Run(ctx context.Context, sweep Sweep, opts Options) (*Report, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: options need a directory for the manifest")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(opts.Dir, ManifestName)
+	var m *Manifest
+	if _, err := os.Stat(path); err == nil {
+		m, err = LoadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Matches(sweep); err != nil {
+			return nil, err
+		}
+		if n := m.Requeue(); n > 0 {
+			logf(opts.Log, "fleet: re-queued %d shard(s) left running by a dead fleet\n", n)
+		}
+	} else {
+		m, err = NewManifest(sweep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &pool{opts: opts, sweep: sweep, manifest: m, path: path}
+	if err := p.save(); err != nil {
+		return nil, err
+	}
+	pending, _, done, _ := m.Counts()
+	logf(opts.Log, "fleet: %d shard(s), %d already done, %d worker(s)\n", len(m.Records), done, opts.Workers)
+	if pending > 0 {
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				p.work(ctx, worker)
+			}(w)
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		_, _, done, _ := p.manifest.Counts()
+		logf(opts.Log, "fleet: interrupted with %d/%d shard(s) done; rerun to resume\n", done, len(p.manifest.Records))
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Merge(p.manifest)
+}
+
+// save persists the manifest; callers must hold no lock (claim/finish take
+// it themselves) or the pool lock consistently. It is only called with
+// p.mu held except during construction.
+func (p *pool) save() error {
+	return p.manifest.Save(p.path)
+}
+
+// claim atomically picks the lowest-index pending shard, marks it running
+// and persists the transition. ok is false when no pending work remains.
+func (p *pool) claim(worker int) (idx int, ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.manifest.Records {
+		if p.manifest.Records[i].Status != StatusPending {
+			continue
+		}
+		p.manifest.Records[i].Status = StatusRunning
+		p.manifest.Records[i].Worker = worker
+		p.manifest.Records[i].Attempts++
+		if err := p.save(); err != nil {
+			return 0, false, err
+		}
+		return i, true, nil
+	}
+	return 0, false, nil
+}
+
+// finish records a terminal (or parked) state for a claimed shard.
+func (p *pool) finish(idx int, status Status, res *ShardResult, cause error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := &p.manifest.Records[idx]
+	rec.Status = status
+	rec.Result = res
+	rec.Error = ""
+	if cause != nil {
+		rec.Error = cause.Error()
+	}
+	return p.save()
+}
+
+// bump applies a counter mutation to a record under the pool lock.
+func (p *pool) bump(idx int, f func(*Record)) {
+	p.mu.Lock()
+	f(&p.manifest.Records[idx])
+	p.mu.Unlock()
+}
+
+// work is one worker's loop: claim, execute with panic isolation, retry
+// with deterministic backoff, record, repeat until the queue drains or the
+// context is cancelled.
+func (p *pool) work(ctx context.Context, worker int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		idx, ok, err := p.claim(worker)
+		if err != nil || !ok {
+			return
+		}
+		rec := func() Record {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.manifest.Records[idx]
+		}()
+		sh := rec.Shard
+		var res *ShardResult
+		var cause error
+		for attempt := 0; ; attempt++ {
+			span := uint64(0)
+			if p.opts.Spans != nil {
+				span = p.opts.Spans.Begin("shard:"+sh.Name, obs.CompRunner, int32(idx), 0, 0, 0)
+			}
+			res, cause = p.runShard(ctx, idx, sh)
+			if p.opts.Spans != nil {
+				p.opts.Spans.End(span, sh.Cycles)
+			}
+			if cause == nil || ctx.Err() != nil || attempt >= p.opts.Retries {
+				break
+			}
+			delay := runner.BackoffDelay(p.opts.Backoff, p.opts.MaxBackoff, sh.Seed, attempt)
+			p.bump(idx, func(r *Record) {
+				r.Retries++
+				r.BackoffNs += int64(delay)
+			})
+			p.opts.Mx.Inc(obs.CtrFleetRetries, 0)
+			logf(p.opts.Log, "fleet: worker %d shard %s attempt %d failed (%v); retrying in %s\n",
+				worker, sh.Name, attempt+1, cause, delay)
+			select {
+			case <-ctx.Done():
+			case <-time.After(delay):
+			}
+		}
+		switch {
+		case cause == nil:
+			_ = p.finish(idx, StatusDone, res, nil)
+			p.opts.Mx.Inc(obs.CtrFleetShardsDone, 0)
+			logf(p.opts.Log, "fleet: worker %d shard %s done\n", worker, sh.Name)
+		case ctx.Err() != nil:
+			// Interrupted, not failed: park the shard for the resume.
+			_ = p.finish(idx, StatusPending, nil, nil)
+		default:
+			_ = p.finish(idx, StatusFailed, nil, cause)
+			p.opts.Mx.Inc(obs.CtrFleetShardsFailed, 0)
+			logf(p.opts.Log, "fleet: worker %d shard %s FAILED: %v\n", worker, sh.Name, cause)
+		}
+	}
+}
+
+// runShard executes one attempt with panic isolation: a panicking shard
+// (a seeded fault-injection campaign gone wrong, a model bug) takes down
+// its attempt, not the fleet.
+func (p *pool) runShard(ctx context.Context, idx int, sh Shard) (res *ShardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("fleet: shard %s panicked: %v", sh.Name, r)
+		}
+	}()
+	return RunShard(ctx, p.sweep.Config, sh, ShardOptions{
+		Dir:     p.opts.Dir,
+		Every:   p.opts.CheckpointEvery,
+		SecretA: p.sweep.SecretA,
+		SecretB: p.sweep.SecretB,
+		OnCheckpoint: func() {
+			p.bump(idx, func(r *Record) { r.Checkpoints++ })
+			p.opts.Mx.Inc(obs.CtrFleetCheckpoints, 0)
+		},
+		OnResume: func() {
+			p.bump(idx, func(r *Record) { r.Resumes++ })
+			p.opts.Mx.Inc(obs.CtrFleetResumes, 0)
+		},
+	})
+}
+
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"dagguise/internal/ckpt"
+	"dagguise/internal/config"
+	"dagguise/internal/sim"
+)
+
+// ShardResult is the deterministic outcome of one shard: the twin-run
+// digests, the non-interference verdict, and the aggregate counters of the
+// secret-A run. Every field is a pure function of the shard descriptor and
+// the sweep config — never of worker count, retries or resume history —
+// which is what makes the merged report byte-stable.
+type ShardResult struct {
+	Name         string              `json:"name"`
+	Scheme       string              `json:"scheme"`
+	Seed         int64               `json:"seed"`
+	ChanLo       int                 `json:"chan_lo"`
+	ChanHi       int                 `json:"chan_hi"`
+	Cycles       uint64              `json:"cycles"`
+	DigestA      string              `json:"digest_a"`
+	DigestB      string              `json:"digest_b"`
+	Interference bool                `json:"interference"`
+	Counters     sim.ClusterCounters `json:"counters"`
+}
+
+// ShardOptions configures one shard execution.
+type ShardOptions struct {
+	// Dir holds the shard's checkpoint frame; empty disables checkpoints.
+	Dir string
+	// Every is the checkpoint interval in simulated cycles (0 = only at
+	// the natural chunk boundary, i.e. one chunk).
+	Every uint64
+	// SecretA and SecretB are the twin-run secrets.
+	SecretA, SecretB int
+	// OnCheckpoint, if set, is called after every durable checkpoint.
+	OnCheckpoint func()
+	// OnResume, if set, is called when a checkpoint frame was restored.
+	OnResume func()
+}
+
+// pairState is the checkpoint payload: both twins, cut at the same cycle.
+type pairState struct {
+	A *sim.ClusterState `json:"a"`
+	B *sim.ClusterState `json:"b"`
+}
+
+// CheckpointName returns the checkpoint file for a shard inside dir.
+func CheckpointName(dir, shard string) string {
+	return filepath.Join(dir, shard+".ckpt")
+}
+
+// RunShard executes one shard: twin clusters over the shard's channel
+// slice, advanced in checkpointed chunks, digested into a ShardResult.
+// A context cancellation between chunks returns ctx.Err() with the last
+// checkpoint already durable; rerunning the same shard resumes from it and
+// produces the identical result.
+func RunShard(ctx context.Context, base config.MultiChannelConfig, sh Shard, opt ShardOptions) (*ShardResult, error) {
+	scheme, err := config.ParseScheme(sh.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg := base
+	cfg.Scheme = scheme
+	a, err := sim.NewCluster(cfg, sh.ChanLo, sh.ChanHi, sh.Seed, opt.SecretA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sim.NewCluster(cfg, sh.ChanLo, sh.ChanHi, sh.Seed, opt.SecretB)
+	if err != nil {
+		return nil, err
+	}
+	ckptPath := ""
+	if opt.Dir != "" {
+		ckptPath = CheckpointName(opt.Dir, sh.Name)
+		if blob, err := ckpt.LoadFrame(ckptPath); err == nil {
+			var pair pairState
+			if err := json.Unmarshal(blob, &pair); err != nil {
+				return nil, fmt.Errorf("fleet: shard %s checkpoint: %w", sh.Name, err)
+			}
+			if err := a.RestoreState(pair.A); err != nil {
+				return nil, fmt.Errorf("fleet: shard %s twin A: %w", sh.Name, err)
+			}
+			if err := b.RestoreState(pair.B); err != nil {
+				return nil, fmt.Errorf("fleet: shard %s twin B: %w", sh.Name, err)
+			}
+			if opt.OnResume != nil {
+				opt.OnResume()
+			}
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("fleet: shard %s checkpoint: %w", sh.Name, err)
+		}
+	}
+	every := opt.Every
+	if every == 0 || every > sh.Cycles {
+		every = sh.Cycles
+	}
+	for a.Now() < sh.Cycles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := every
+		if rem := sh.Cycles - a.Now(); chunk > rem {
+			chunk = rem
+		}
+		a.Run(chunk)
+		b.Run(chunk)
+		if ckptPath != "" && a.Now() < sh.Cycles {
+			if err := saveCheckpoint(ckptPath, a, b); err != nil {
+				return nil, err
+			}
+			if opt.OnCheckpoint != nil {
+				opt.OnCheckpoint()
+			}
+		}
+	}
+	da, db := a.AuditDigest(), b.AuditDigest()
+	return &ShardResult{
+		Name:   sh.Name,
+		Scheme: sh.Scheme,
+		Seed:   sh.Seed,
+		ChanLo: sh.ChanLo, ChanHi: sh.ChanHi,
+		Cycles:       sh.Cycles,
+		DigestA:      da,
+		DigestB:      db,
+		Interference: da != db,
+		Counters:     a.Counters(),
+	}, nil
+}
+
+// saveCheckpoint cuts a durable paired snapshot of both twins.
+func saveCheckpoint(path string, a, b *sim.Cluster) error {
+	sa, err := a.SaveState()
+	if err != nil {
+		return err
+	}
+	sb, err := b.SaveState()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(pairState{A: sa, B: sb})
+	if err != nil {
+		return err
+	}
+	return ckpt.SaveFrame(path, blob)
+}

@@ -1,0 +1,37 @@
+package mem
+
+// RoutingWidth is the size of the security-domain space the channel router
+// covers: the full uint16 Domain space. Multi-channel configurations must
+// keep their domain count below this bound (domain 0 is reserved for
+// unattributed traffic), which config validation enforces.
+const RoutingWidth = 1 << 16
+
+// RouteChannel deterministically maps a (domain, line address) pair onto a
+// channel index in [0, channels). The hash is FNV-1a over the domain
+// followed by the line address bytes — a pure function of its arguments,
+// stable across processes and platforms, so any two shards (or a shard and
+// its resumed incarnation) agree on where every request goes.
+//
+// Folding the domain into the hash decorrelates tenants: two tenants
+// streaming the same address range still spread differently across
+// channels, so no tenant can colocate itself with a victim on every
+// channel by mirroring the victim's addresses alone.
+func RouteChannel(d Domain, lineAddr uint64, channels int) int {
+	if channels <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(d) & 0xff
+	h *= prime64
+	h ^= uint64(d) >> 8
+	h *= prime64
+	for i := uint(0); i < 64; i += 8 {
+		h ^= (lineAddr >> i) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(channels))
+}

@@ -1,0 +1,63 @@
+package mem
+
+import "testing"
+
+func TestRouteChannelRange(t *testing.T) {
+	for _, channels := range []int{1, 2, 3, 4, 8, 16} {
+		for d := Domain(0); d < 64; d++ {
+			for addr := uint64(0); addr < 1<<16; addr += 4096 {
+				ch := RouteChannel(d, addr, channels)
+				if ch < 0 || ch >= channels {
+					t.Fatalf("RouteChannel(%d, %#x, %d) = %d out of range", d, addr, channels, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteChannelDeterministic(t *testing.T) {
+	for d := Domain(0); d < 300; d++ {
+		addr := uint64(d) * 0x40
+		a := RouteChannel(d, addr, 4)
+		b := RouteChannel(d, addr, 4)
+		if a != b {
+			t.Fatalf("RouteChannel not deterministic for domain %d: %d vs %d", d, a, b)
+		}
+	}
+}
+
+// TestRouteChannelSpread checks the hash spreads a single tenant's
+// sequential line stream over all channels, and that no channel starves:
+// a degenerate router would serialise the fleet onto one controller.
+func TestRouteChannelSpread(t *testing.T) {
+	const channels = 4
+	const lines = 4096
+	for _, d := range []Domain{1, 7, 201} {
+		var counts [channels]int
+		for i := 0; i < lines; i++ {
+			counts[RouteChannel(d, uint64(i)*64, channels)]++
+		}
+		for ch, n := range counts {
+			if n < lines/channels/2 || n > lines/channels*2 {
+				t.Fatalf("domain %d channel %d got %d of %d lines (want near %d)",
+					d, ch, n, lines, lines/channels)
+			}
+		}
+	}
+}
+
+// TestRouteChannelDomainDecorrelated checks that two domains issuing the
+// identical address stream are routed differently somewhere: the domain
+// must be part of the hash input.
+func TestRouteChannelDomainDecorrelated(t *testing.T) {
+	diff := 0
+	for i := 0; i < 1024; i++ {
+		addr := uint64(i) * 64
+		if RouteChannel(1, addr, 4) != RouteChannel(2, addr, 4) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("domains 1 and 2 route identically on every address; domain not hashed")
+	}
+}

@@ -73,6 +73,13 @@ const (
 	// Core counters per domain.
 	CtrRetired
 	CtrROBStallCycles
+	// Fleet fabric counters (domain 0): shard outcomes and durability
+	// events across the worker pool.
+	CtrFleetShardsDone
+	CtrFleetShardsFailed
+	CtrFleetRetries
+	CtrFleetCheckpoints
+	CtrFleetResumes
 
 	numCounters
 )
@@ -101,6 +108,11 @@ var counterNames = [numCounters]string{
 	CtrShaperRejected:     "shaper_rejected",
 	CtrRetired:            "retired",
 	CtrROBStallCycles:     "rob_stall_cycles",
+	CtrFleetShardsDone:    "fleet_shards_done",
+	CtrFleetShardsFailed:  "fleet_shards_failed",
+	CtrFleetRetries:       "fleet_retries",
+	CtrFleetCheckpoints:   "fleet_checkpoints",
+	CtrFleetResumes:       "fleet_resumes",
 }
 
 // String returns the counter's stable name.
@@ -135,6 +147,11 @@ var counterHelp = [numCounters]string{
 	CtrShaperRejected:     "Requests rejected by the shaper's admission queue per protected domain.",
 	CtrRetired:            "Instructions retired per core domain.",
 	CtrROBStallCycles:     "Cycles the ROB head was stalled on memory per core domain.",
+	CtrFleetShardsDone:    "Fleet shards completed across the worker pool (domain 0).",
+	CtrFleetShardsFailed:  "Fleet shards that exhausted their retries (domain 0).",
+	CtrFleetRetries:       "Fleet shard attempts retried after a failure (domain 0).",
+	CtrFleetCheckpoints:   "Durable per-shard checkpoints cut by fleet workers (domain 0).",
+	CtrFleetResumes:       "Fleet shard executions resumed from a checkpoint frame (domain 0).",
 }
 
 // Help returns the counter's # HELP text.

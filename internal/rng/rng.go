@@ -106,6 +106,21 @@ func FromState(st State) *Rand {
 // sources) get decorrelated but individually reproducible streams. The
 // mix is FNV-1a over the label folded into the seed — a pure function of
 // its arguments, stable across processes and platforms.
+//
+// The fleet fabric leans on two properties pinned by tests:
+//
+//   - Distinct labels under one base seed yield distinct substream seeds
+//     at campaign scale (tens of thousands of shard/tenant/shaper labels;
+//     TestDeriveNoCollisionsAtShardScale). FNV-1a is not cryptographic, so
+//     collisions are possible in principle — the test keeps the label
+//     vocabulary the repo actually uses collision-free.
+//   - A (seed, label) pair is a stable address: any worker on any machine
+//     reconstructs the same substream, which is what lets a shard be
+//     re-executed after a crash, or on a different worker, with identical
+//     results.
+//
+// Labels should be fully qualified (e.g. "shaper-ch0002-dom00017", not
+// "17") so that differently scoped consumers can never alias.
 func Derive(seed int64, label string) int64 {
 	const (
 		offset64 = 14695981039346656037

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dagguise/internal/config"
+)
+
+func clusterCfg(t *testing.T, channels, domains int, scheme config.Scheme) config.MultiChannelConfig {
+	t.Helper()
+	cfg := config.DefaultMultiChannel(channels, domains, scheme)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	for _, scheme := range []config.Scheme{config.Insecure, config.DAGguise} {
+		cfg := clusterCfg(t, 2, 12, scheme)
+		run := func() (string, ClusterCounters) {
+			c, err := NewCluster(cfg, 0, 2, 42, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Run(12000)
+			return c.AuditDigest(), c.Counters()
+		}
+		d1, c1 := run()
+		d2, c2 := run()
+		if d1 != d2 {
+			t.Fatalf("%s: identical runs digest differently: %s vs %s", scheme, d1, d2)
+		}
+		b1, _ := json.Marshal(c1)
+		b2, _ := json.Marshal(c2)
+		if string(b1) != string(b2) {
+			t.Fatalf("%s: identical runs count differently:\n%s\n%s", scheme, b1, b2)
+		}
+		if c1.Issued == 0 || c1.Completed == 0 || c1.TapSamples == 0 {
+			t.Fatalf("%s: cluster did no observable work: %+v", scheme, c1)
+		}
+	}
+}
+
+// TestClusterNonInterference is the headline security property at cluster
+// scale: twin runs differing only in the protected tenants' secret must be
+// indistinguishable to the unprotected tenants under DAGguise, and
+// distinguishable under the insecure baseline (otherwise the observable is
+// too weak to mean anything).
+func TestClusterNonInterference(t *testing.T) {
+	digest := func(scheme config.Scheme, secret int) string {
+		cfg := clusterCfg(t, 2, 12, scheme)
+		c, err := NewCluster(cfg, 0, 2, 1234, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(20000)
+		return c.AuditDigest()
+	}
+	if a, b := digest(config.DAGguise, 11), digest(config.DAGguise, 12); a != b {
+		t.Errorf("DAGguise leaks: secret 11 digest %s != secret 12 digest %s", a, b)
+	}
+	if a, b := digest(config.Insecure, 11), digest(config.Insecure, 12); a == b {
+		t.Errorf("insecure baseline did not leak; the attacker observable is too coarse")
+	}
+}
+
+// TestClusterVictimStreamSecretIndependent pins the construction that makes
+// the twin comparison sound: the protected tenants' rng positions (and so
+// their address streams) do not depend on the secret, only their timing.
+func TestClusterVictimStreamSecretIndependent(t *testing.T) {
+	cfg := clusterCfg(t, 2, 8, config.Insecure)
+	c, err := NewCluster(cfg, 0, 2, 7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(15000)
+	// The i-th generated request of a tenant must consume exactly 2 draws
+	// (gap jitter + address) regardless of the secret's bit pattern, so a
+	// victim's address stream is a pure function of (seed, request index).
+	for _, tn := range c.tenants {
+		if tn.generated > 0 && tn.rng.State().Draws != 2*tn.generated {
+			t.Fatalf("tenant %d: %d draws for %d requests; rng cost must be exactly 2 draws/request",
+				tn.index, tn.rng.State().Draws, tn.generated)
+		}
+	}
+}
+
+func TestClusterCheckpointRoundTrip(t *testing.T) {
+	for _, scheme := range []config.Scheme{config.Insecure, config.DAGguise} {
+		cfg := clusterCfg(t, 2, 10, scheme)
+		ref, err := NewCluster(cfg, 0, 2, 99, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Run(16000)
+
+		half, err := NewCluster(cfg, 0, 2, 99, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half.Run(8000)
+		st, err := half.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded ClusterState
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := NewCluster(cfg, 0, 2, 99, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.RestoreState(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		resumed.Run(8000)
+
+		if got, want := resumed.AuditDigest(), ref.AuditDigest(); got != want {
+			t.Fatalf("%s: resumed digest %s != uninterrupted %s", scheme, got, want)
+		}
+		refSt, err := ref.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resSt, err := resumed.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBlob, _ := json.Marshal(refSt)
+		resBlob, _ := json.Marshal(resSt)
+		if string(refBlob) != string(resBlob) {
+			t.Fatalf("%s: resumed final state differs from uninterrupted run", scheme)
+		}
+	}
+}
+
+// TestClusterCheckpointBytesDeterministic guards the byte stability of the
+// serialized state itself (satellite: sorted keys everywhere a map feeds an
+// exported artifact).
+func TestClusterCheckpointBytesDeterministic(t *testing.T) {
+	cfg := clusterCfg(t, 2, 10, config.DAGguise)
+	snap := func() []byte {
+		c, err := NewCluster(cfg, 0, 2, 5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(9000)
+		st, err := c.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := snap(), snap(); string(a) != string(b) {
+		t.Fatal("identical cluster runs serialize to different bytes")
+	}
+}
+
+func TestClusterChannelSlice(t *testing.T) {
+	cfg := clusterCfg(t, 4, 16, config.Insecure)
+	c, err := NewCluster(cfg, 1, 3, 21, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(8000)
+	counters := c.Counters()
+	if counters.Remote == 0 {
+		t.Fatal("a half-slice cluster should route some traffic remotely")
+	}
+	if len(counters.ChannelIssued) != 2 {
+		t.Fatalf("slice [1,3) should own 2 channels, counters cover %d", len(counters.ChannelIssued))
+	}
+	if counters.ChannelIssued[0] == 0 || counters.ChannelIssued[1] == 0 {
+		t.Fatalf("both owned channels should see traffic: %v", counters.ChannelIssued)
+	}
+	if _, err := NewCluster(cfg, 3, 3, 21, 11); err == nil {
+		t.Fatal("empty channel slice accepted")
+	}
+	if _, err := NewCluster(cfg, 0, 5, 21, 11); err == nil {
+		t.Fatal("out-of-range channel slice accepted")
+	}
+}
+
+func TestClusterRejectsUnsupportedScheme(t *testing.T) {
+	cfg := clusterCfg(t, 2, 8, config.FSBTA)
+	if _, err := NewCluster(cfg, 0, 2, 1, 11); err == nil {
+		t.Fatal("cluster accepted a scheme it does not implement")
+	}
+}
