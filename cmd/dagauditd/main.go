@@ -55,6 +55,7 @@ import (
 	"dagguise/internal/audit"
 	"dagguise/internal/auditd"
 	"dagguise/internal/obs"
+	"dagguise/internal/telem"
 )
 
 func main() {
@@ -85,6 +86,7 @@ func main() {
 
 	alertWebhook := flag.String("alert-webhook", "", "POST deduplicated alert edges as JSON to this URL (e.g. a dagmon -listen endpoint)")
 	alertRules := flag.String("alert-rules", "", "JSON file with the SLO rule list (default: the stock catalog when alerting is on)")
+	telemDir := flag.String("telem-dir", "", "mirror the SLO feed series onto a fleet telemetry stream (telem-worker-auditd.ndjson) in this directory")
 	flag.Parse()
 
 	cfg := auditd.Config{
@@ -121,6 +123,15 @@ func main() {
 			cfg.Notifier = notifier
 		}
 		fmt.Fprintf(os.Stderr, "dagauditd: alerting with %d rule(s)\n", len(cfg.Rules))
+	}
+	if *telemDir != "" {
+		em, err := telem.OpenEmitter(*telemDir, "auditd", "")
+		if err != nil {
+			fatal(err)
+		}
+		defer em.Close()
+		cfg.Telem = em
+		fmt.Fprintf(os.Stderr, "dagauditd: telemetry stream in %s\n", *telemDir)
 	}
 	svc, err := auditd.New(cfg)
 	if err != nil {

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"dagguise/internal/ckpt"
 	"dagguise/internal/fleet"
 	"dagguise/internal/obs"
 	"dagguise/internal/runner"
+	"dagguise/internal/telem"
 )
 
 // fleetFlags selects and shapes fleet mode: instead of per-campaign fault
@@ -22,6 +25,8 @@ type fleetFlags struct {
 	workers  int
 	channels int
 	domains  int
+	telemDir string
+	promOut  string
 }
 
 func registerFleetFlags() *fleetFlags {
@@ -30,6 +35,8 @@ func registerFleetFlags() *fleetFlags {
 	flag.IntVar(&f.workers, "workers", 0, "fleet mode: worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&f.channels, "channels", 4, "fleet mode: memory channels in the multi-channel machine")
 	flag.IntVar(&f.domains, "domains", 100, "fleet mode: tenant security domains")
+	flag.StringVar(&f.telemDir, "telem-dir", "", "fleet mode: write per-worker telemetry streams here and a deterministic telem-report.json after the run (watch live with dagtop -dir)")
+	flag.StringVar(&f.promOut, "prom-out", "", "fleet mode: write fleet_* and per-shard counters in Prometheus text format to this path after the run")
 	return f
 }
 
@@ -75,7 +82,7 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 	}
 
 	var mx *obs.Registry
-	if metrics {
+	if metrics || f.promOut != "" {
 		mx = obs.NewRegistry(1)
 	}
 	var tr *obs.Tracer
@@ -105,6 +112,7 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 		Log:             os.Stderr,
 		Spans:           sp,
 		Mx:              mx,
+		TelemDir:        f.telemDir,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -152,9 +160,77 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 		}
 		fmt.Fprintf(os.Stderr, "dagchaos: wrote %d trace events to %s\n", tr.Len(), traceOut)
 	}
+	if f.telemDir != "" {
+		if code := writeTelemReport(f.telemDir); code != 0 {
+			return code
+		}
+	}
+	if f.promOut != "" {
+		if code := writeFleetProm(f.promOut, dir, mx); code != 0 {
+			return code
+		}
+	}
 	if err := rep.Gate(); err != nil {
 		fmt.Fprintln(os.Stderr, "dagchaos:", err)
 		return 1
 	}
+	return 0
+}
+
+// writeTelemReport folds the run's telemetry streams into the
+// deterministic telem-report.json next to them (the byte-diffable
+// artifact the telem-soak CI job compares) and prints its alerts.
+func writeTelemReport(telemDir string) int {
+	col, err := telem.Collect(telemDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: telem:", err)
+		return 1
+	}
+	trep, err := col.Report(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: telem:", err)
+		return 1
+	}
+	blob, err := trep.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: telem:", err)
+		return 1
+	}
+	path := filepath.Join(telemDir, "telem-report.json")
+	if err := ckpt.WriteFileAtomic(path, blob); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos: telem:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dagchaos: wrote telemetry report (%d series, %d spans, %d alerts) to %s\n",
+		len(trep.Series), len(trep.Spans), len(trep.Alerts), path)
+	for _, a := range trep.Alerts {
+		fmt.Fprintf(os.Stderr, "dagchaos: telem alert: %s %s %s (value %g %s %g)\n",
+			a.Severity, a.Rule, a.State, a.Value, a.Op, a.Threshold)
+	}
+	return 0
+}
+
+// writeFleetProm renders the fleet_* registry counters plus the
+// per-shard manifest counters in Prometheus text format.
+func writeFleetProm(out, manifestDir string, mx *obs.Registry) int {
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, mx.Snapshot(), ""); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+	m, err := fleet.LoadManifest(filepath.Join(manifestDir, fleet.ManifestName))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+	if err := fleet.WriteShardPrometheus(&buf, m.Records); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+	if err := ckpt.WriteFileAtomic(out, buf.Bytes()); err != nil {
+		fmt.Fprintln(os.Stderr, "dagchaos:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dagchaos: wrote fleet metrics to %s\n", out)
 	return 0
 }

@@ -9,11 +9,21 @@
 //	dagmon -listen 127.0.0.1:9801 -out alerts.ndjson   # webhook receiver
 //	dagmon -tail http://127.0.0.1:9470                 # poll /v1/alerts
 //	dagmon -tail http://127.0.0.1:9470 -once           # one poll, then exit
+//	dagmon -telem-dir fleettelem                       # tail fleet collector alerts
+//	dagmon -telem-dir fleettelem -min-severity critical
 //
 // In tail mode dagmon remembers the highest alert sequence number seen
 // and only prints new edges, so restarting mid-stream never duplicates
 // output lines for the same daemon instance. With -once it prints the
 // full retained history exactly once — the CI-friendly snapshot mode.
+//
+// With -telem-dir dagmon polls a fleet telemetry directory instead of a
+// daemon: each tick re-collects the streams (internal/telem), evaluates
+// the deterministic fleet rules plus the ops-plane straggler /
+// worker-stall / requeue-rate rules, and prints new edges. Fleet alert
+// lines carry a shard or worker column extracted from the series name.
+// -min-severity (info|warning|critical) drops weaker edges in every
+// mode.
 package main
 
 import (
@@ -27,29 +37,45 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"dagguise/internal/auditd"
 	"dagguise/internal/obs"
+	"dagguise/internal/telem"
 )
 
 func main() {
 	listen := flag.String("listen", "", "run a webhook receiver on this address")
 	tail := flag.String("tail", "", "poll this dagauditd base URL's /v1/alerts endpoint")
+	telemDir := flag.String("telem-dir", "", "poll this fleet telemetry directory's collector alerts")
 	interval := flag.Duration("interval", 2*time.Second, "poll cadence in tail mode")
 	once := flag.Bool("once", false, "tail mode: poll once, print the retained history, exit")
 	out := flag.String("out", "", "append NDJSON alert lines to this file instead of stdout")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable stderr line per alert")
+	minSeverity := flag.String("min-severity", "", "drop alerts below this severity (info, warning, critical; empty = keep all)")
 	flag.Parse()
 
-	if (*listen == "") == (*tail == "") {
-		fmt.Fprintln(os.Stderr, "dagmon: exactly one of -listen or -tail is required")
+	modes := 0
+	for _, m := range []string{*listen, *tail, *telemDir} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "dagmon: exactly one of -listen, -tail or -telem-dir is required")
+		os.Exit(2)
+	}
+	switch *minSeverity {
+	case "", obs.SeverityInfo, obs.SeverityWarning, obs.SeverityCritical:
+	default:
+		fmt.Fprintf(os.Stderr, "dagmon: unknown -min-severity %q (want info, warning or critical)\n", *minSeverity)
 		os.Exit(2)
 	}
 
-	sink, closeSink, err := openSink(*out)
+	sink, closeSink, err := openSink(*out, *minSeverity)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,38 +84,78 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *listen != "" {
+	switch {
+	case *listen != "":
 		if err := runListener(ctx, *listen, sink, *quiet); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := runTail(ctx, *tail, *interval, *once, sink, *quiet); err != nil {
-		fatal(err)
+	case *telemDir != "":
+		if err := runTelem(ctx, *telemDir, *interval, *once, sink, *quiet); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := runTail(ctx, *tail, *interval, *once, sink, *quiet); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-// sink serializes NDJSON alert lines to one writer.
+// alertLine is the NDJSON output schema: the alert edge plus the shard
+// or worker the fleet series names, so `grep '"shard":"..."'` works on
+// fleet alert files.
+type alertLine struct {
+	obs.Alert
+	Shard  string `json:"shard,omitempty"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// annotate extracts the shard/worker column from fleet series names:
+// straggler/<shard>, worker_stall/<worker>, leak/<scheme>/<shard>.
+// Non-fleet series pass through unannotated.
+func annotate(a obs.Alert) alertLine {
+	line := alertLine{Alert: a}
+	switch {
+	case strings.HasPrefix(a.Series, "straggler/"):
+		line.Shard = strings.TrimPrefix(a.Series, "straggler/")
+	case strings.HasPrefix(a.Series, "worker_stall/"):
+		line.Worker = strings.TrimPrefix(a.Series, "worker_stall/")
+	case strings.HasPrefix(a.Series, "leak/"):
+		if _, shard, ok := strings.Cut(strings.TrimPrefix(a.Series, "leak/"), "/"); ok {
+			line.Shard = shard
+		}
+	}
+	return line
+}
+
+// sink serializes NDJSON alert lines to one writer, dropping edges
+// below the minimum severity.
 type sink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu     sync.Mutex
+	w      io.Writer
+	minSev string
 }
 
-func openSink(path string) (*sink, func(), error) {
+func openSink(path, minSeverity string) (*sink, func(), error) {
 	if path == "" {
-		return &sink{w: os.Stdout}, func() {}, nil
+		return &sink{w: os.Stdout, minSev: minSeverity}, func() {}, nil
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &sink{w: f}, func() { f.Close() }, nil
+	return &sink{w: f, minSev: minSeverity}, func() { f.Close() }, nil
 }
 
 // emit writes one alert as an NDJSON line and, unless quiet, a
-// human-readable summary to stderr.
+// human-readable summary to stderr. Edges below the sink's minimum
+// severity are dropped silently (an alert without a severity counts as
+// weakest).
 func (s *sink) emit(a obs.Alert, quiet bool) error {
-	line, err := json.Marshal(a)
+	if s.minSev != "" && obs.SeverityRank(a.Severity) < obs.SeverityRank(s.minSev) {
+		return nil
+	}
+	al := annotate(a)
+	line, err := json.Marshal(al)
 	if err != nil {
 		return err
 	}
@@ -100,8 +166,15 @@ func (s *sink) emit(a obs.Alert, quiet bool) error {
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "dagmon: [%s] %s %s value=%g (%s %g) seq=%d t=%d\n",
-			a.State, a.Rule, a.Series, a.Value, a.Op, a.Threshold, a.Seq, a.T)
+		where := ""
+		if al.Shard != "" {
+			where = " shard=" + al.Shard
+		}
+		if al.Worker != "" {
+			where += " worker=" + al.Worker
+		}
+		fmt.Fprintf(os.Stderr, "dagmon: [%s] %s %s value=%g (%s %g) seq=%d t=%d%s\n",
+			a.State, a.Rule, a.Series, a.Value, a.Op, a.Threshold, a.Seq, a.T, where)
 	}
 	return nil
 }
@@ -165,6 +238,54 @@ func runTail(ctx context.Context, base string, interval time.Duration, once bool
 					continue
 				}
 				lastSeq = a.Seq
+				if err := s.emit(a, quiet); err != nil {
+					return err
+				}
+			}
+		}
+		if once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// runTelem polls a fleet telemetry directory: each tick re-collects the
+// streams and evaluates the deterministic fleet rules plus the
+// ops-plane rules, printing edges not seen on a previous tick. The
+// deterministic engine is rebuilt per tick, so its sequence numbers are
+// stable and dedup by (rule, series, state) is exact; ops edges are
+// deduplicated the same way (a fresh engine only ever reports "firing"
+// edges).
+func runTelem(ctx context.Context, dir string, interval time.Duration, once bool, s *sink, quiet bool) error {
+	seen := make(map[string]bool)
+	for {
+		col, err := telem.Collect(dir)
+		switch {
+		case err != nil && once:
+			return err
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "dagmon: poll:", err)
+		default:
+			rep, err := col.Report(nil)
+			if err != nil {
+				if once {
+					return err
+				}
+				fmt.Fprintln(os.Stderr, "dagmon: poll:", err)
+				break
+			}
+			opsAlerts, _ := col.EvalOps(time.Now().UnixMilli(), nil)
+			for _, a := range append(rep.Alerts, opsAlerts...) {
+				key := a.Rule + "|" + a.Series + "|" + a.State
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
 				if err := s.emit(a, quiet); err != nil {
 					return err
 				}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"dagguise/internal/obs"
+)
+
+func fleetAlerts() []obs.Alert {
+	return []obs.Alert{
+		{Seq: 1, T: 100, Rule: "straggler", Series: "straggler/shard-insecure-c0-s9", State: "firing", Value: 4.5, Threshold: 3, Op: ">=", Severity: obs.SeverityWarning},
+		{Seq: 2, T: 100, Rule: "worker-stall", Series: "worker_stall/2", State: "firing", Value: 42, Threshold: 30, Op: ">=", Severity: obs.SeverityCritical},
+		{Seq: 3, T: 200, Rule: "fleet-leak-budget-burn", Series: "leak_rate/insecure", State: "firing", Value: 1, Threshold: 0.5, Op: ">=", Severity: obs.SeverityCritical},
+		{Seq: 4, T: 300, Rule: "leak-budget-burn", Series: "leak/insecure/shard-insecure-c0-s9", State: "resolved", Value: 0, Threshold: 0.5, Op: ">=", Severity: obs.SeverityInfo},
+	}
+}
+
+// TestSinkGoldenNDJSON pins the exact output bytes of the alert sink:
+// one JSON line per edge, with the shard/worker column extracted from
+// fleet series names.
+func TestSinkGoldenNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := &sink{w: &buf}
+	for _, a := range fleetAlerts() {
+		if err := s.emit(a, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := `{"seq":1,"t":100,"rule":"straggler","series":"straggler/shard-insecure-c0-s9","state":"firing","value":4.5,"threshold":3,"op":"\u003e=","severity":"warning","shard":"shard-insecure-c0-s9"}
+{"seq":2,"t":100,"rule":"worker-stall","series":"worker_stall/2","state":"firing","value":42,"threshold":30,"op":"\u003e=","severity":"critical","worker":"2"}
+{"seq":3,"t":200,"rule":"fleet-leak-budget-burn","series":"leak_rate/insecure","state":"firing","value":1,"threshold":0.5,"op":"\u003e=","severity":"critical"}
+{"seq":4,"t":300,"rule":"leak-budget-burn","series":"leak/insecure/shard-insecure-c0-s9","state":"resolved","value":0,"threshold":0.5,"op":"\u003e=","severity":"info","shard":"shard-insecure-c0-s9"}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("NDJSON output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSinkMinSeverity(t *testing.T) {
+	var buf bytes.Buffer
+	s := &sink{w: &buf, minSev: obs.SeverityCritical}
+	for _, a := range fleetAlerts() {
+		if err := s.emit(a, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := `{"seq":2,"t":100,"rule":"worker-stall","series":"worker_stall/2","state":"firing","value":42,"threshold":30,"op":"\u003e=","severity":"critical","worker":"2"}
+{"seq":3,"t":200,"rule":"fleet-leak-budget-burn","series":"leak_rate/insecure","state":"firing","value":1,"threshold":0.5,"op":"\u003e=","severity":"critical"}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("-min-severity critical output:\n%s\nwant:\n%s", got, want)
+	}
+
+	// An alert without a severity ranks weakest and is dropped by any
+	// filter; with no filter it passes.
+	bare := obs.Alert{Seq: 9, Rule: "r", Series: "s", State: "firing", Op: ">="}
+	buf.Reset()
+	if err := s.emit(bare, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("severity-less alert passed a critical filter: %s", buf.String())
+	}
+	open := &sink{w: &buf}
+	if err := open.emit(bare, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("unfiltered sink dropped a severity-less alert")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	cases := []struct {
+		series, shard, worker string
+	}{
+		{"straggler/s0", "s0", ""},
+		{"worker_stall/3", "", "3"},
+		{"leak/insecure/shard-a", "shard-a", ""},
+		{"leak_rate/insecure", "", ""},
+		{"queue_sat/shard0", "", ""},
+	}
+	for _, tc := range cases {
+		got := annotate(obs.Alert{Series: tc.series})
+		if got.Shard != tc.shard || got.Worker != tc.worker {
+			t.Errorf("annotate(%s) = shard %q worker %q, want %q / %q",
+				tc.series, got.Shard, got.Worker, tc.shard, tc.worker)
+		}
+	}
+}
+
+func TestAlertsURL(t *testing.T) {
+	got, err := alertsURL("http://127.0.0.1:9470")
+	if err != nil || got != "http://127.0.0.1:9470/v1/alerts" {
+		t.Fatalf("alertsURL = %q, %v", got, err)
+	}
+	if _, err := alertsURL("127.0.0.1:9470"); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+}

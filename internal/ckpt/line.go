@@ -1,0 +1,74 @@
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Line framing: the text sibling of Frame/Unframe for append-only NDJSON
+// streams (the fleet telemetry plane). Each record is one line,
+//
+//	DAGT1 <16 hex chars> <payload>\n
+//
+// where the hex field is the first eight bytes of SHA-256 over the
+// payload. The payload stays inspectable with standard line tools
+// (`cut -d' ' -f3-` yields pure NDJSON) while every line carries the
+// same magic/checksum discipline as a binary checkpoint frame: a torn
+// tail or a flipped bit is detected, never silently ingested. Rejections
+// reuse this package's typed sentinels (ErrTruncated, ErrBadMagic,
+// ErrChecksum) so stream readers can distinguish a crash-truncated tail
+// from real corruption with errors.Is.
+
+// LineMagic is the leading token of every framed telemetry line.
+const LineMagic = "DAGT1"
+
+const lineSumLen = 16 // hex chars: first 8 bytes of SHA-256
+
+// FrameLine wraps payload (which must not contain a newline) into one
+// framed text line, including the trailing '\n'.
+func FrameLine(payload []byte) ([]byte, error) {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return nil, fmt.Errorf("ckpt: line payload contains a newline")
+	}
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(LineMagic)+1+lineSumLen+1+len(payload)+1)
+	out = append(out, LineMagic...)
+	out = append(out, ' ')
+	out = hex.AppendEncode(out, sum[:lineSumLen/2])
+	out = append(out, ' ')
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out, nil
+}
+
+// UnframeLine validates one framed line (with or without its trailing
+// newline) and returns the payload bytes. A line too short to hold the
+// header is ErrTruncated; a wrong magic token is ErrBadMagic; a checksum
+// mismatch — including any line cut mid-payload — is ErrChecksum.
+func UnframeLine(line []byte) ([]byte, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	header := len(LineMagic) + 1 + lineSumLen + 1
+	if len(line) < header {
+		return nil, fmt.Errorf("%w: line of %d bytes, header needs %d", ErrTruncated, len(line), header)
+	}
+	if string(line[:len(LineMagic)]) != LineMagic || line[len(LineMagic)] != ' ' {
+		return nil, fmt.Errorf("%w: line starts %q", ErrBadMagic, line[:len(LineMagic)])
+	}
+	sumHex := line[len(LineMagic)+1 : len(LineMagic)+1+lineSumLen]
+	if line[len(LineMagic)+1+lineSumLen] != ' ' {
+		return nil, fmt.Errorf("%w: missing payload separator", ErrBadMagic)
+	}
+	want, err := hex.DecodeString(string(sumHex))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad checksum field: %v", ErrBadMagic, err)
+	}
+	payload := line[header:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:lineSumLen/2], want) {
+		return nil, fmt.Errorf("%w: line payload of %d bytes", ErrChecksum, len(payload))
+	}
+	return payload, nil
+}

@@ -1,0 +1,82 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameLineRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"k":"hello","ver":1,"worker":"0"}`),
+		[]byte(""),
+		[]byte("plain text with spaces and DAGT1 inside"),
+		bytes.Repeat([]byte("x"), 4096),
+	}
+	for _, p := range payloads {
+		line, err := FrameLine(p)
+		if err != nil {
+			t.Fatalf("FrameLine(%q): %v", p, err)
+		}
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatalf("framed line missing trailing newline: %q", line)
+		}
+		got, err := UnframeLine(line)
+		if err != nil {
+			t.Fatalf("UnframeLine: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip mismatch: got %q want %q", got, p)
+		}
+		// With the newline stripped it must still parse (readers may
+		// hand over trimmed lines).
+		if _, err := UnframeLine(bytes.TrimSuffix(line, []byte("\n"))); err != nil {
+			t.Fatalf("UnframeLine without newline: %v", err)
+		}
+	}
+}
+
+func TestFrameLineRejectsNewline(t *testing.T) {
+	if _, err := FrameLine([]byte("two\nlines")); err == nil {
+		t.Fatal("FrameLine accepted a payload containing a newline")
+	}
+}
+
+func TestFrameLineDeterministic(t *testing.T) {
+	a, err := FrameLine([]byte("same payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FrameLine([]byte("same payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("framing is not deterministic: %q vs %q", a, b)
+	}
+}
+
+func TestUnframeLineTypedErrors(t *testing.T) {
+	line, err := FrameLine([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		line []byte
+		want error
+	}{
+		{"too short", []byte("DAGT1 abc"), ErrTruncated},
+		{"empty", nil, ErrTruncated},
+		{"wrong magic", append([]byte("DAGX1"), line[5:]...), ErrBadMagic},
+		{"missing separator", bytes.Replace(line, []byte(" "), []byte("_"), 1), ErrBadMagic},
+		{"non-hex checksum", append([]byte("DAGT1 zzzzzzzzzzzzzzzz "), []byte("payload")...), ErrBadMagic},
+		{"flipped payload bit", bytes.Replace(line, []byte("payload"), []byte("paYload"), 1), ErrChecksum},
+		{"cut mid-payload", line[:len(line)-3], ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, err := UnframeLine(tc.line); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

@@ -7,11 +7,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"dagguise/internal/obs"
 	"dagguise/internal/runner"
+	"dagguise/internal/sim"
+	"dagguise/internal/telem"
 )
 
 // Options configures a fleet run.
@@ -41,6 +44,12 @@ type Options struct {
 	// Mx, when set, receives fleet counters (shards done/failed/retried,
 	// checkpoints, resumes) under domain 0.
 	Mx *obs.Registry
+	// TelemDir, when set, enables the fleet telemetry plane: every
+	// worker appends a durable telem stream there (plus a campaign-level
+	// "fleet" stream), for telem.Collect / dagtop / dagmon to fold.
+	// Telemetry is measurement-only: manifest, checkpoints, report and
+	// log bytes are identical with it on or off.
+	TelemDir string
 }
 
 // Pool executes a sweep's manifest over a worker pool. All manifest
@@ -53,6 +62,9 @@ type pool struct {
 	manifest *Manifest
 	path     string
 	mu       sync.Mutex
+	// telem holds one emitter per worker (nil slice when telemetry is
+	// off; emitters themselves are nil-safe).
+	telem []*telem.Emitter
 }
 
 // Run executes the sweep: it creates or resumes the manifest in opts.Dir,
@@ -72,6 +84,7 @@ func Run(ctx context.Context, sweep Sweep, opts Options) (*Report, error) {
 	}
 	path := filepath.Join(opts.Dir, ManifestName)
 	var m *Manifest
+	var requeued []string
 	if _, err := os.Stat(path); err == nil {
 		m, err = LoadManifest(path)
 		if err != nil {
@@ -79,6 +92,11 @@ func Run(ctx context.Context, sweep Sweep, opts Options) (*Report, error) {
 		}
 		if err := m.Matches(sweep); err != nil {
 			return nil, err
+		}
+		for i := range m.Records {
+			if m.Records[i].Status == StatusRunning {
+				requeued = append(requeued, m.Records[i].Shard.Name)
+			}
 		}
 		if n := m.Requeue(); n > 0 {
 			logf(opts.Log, "fleet: re-queued %d shard(s) left running by a dead fleet\n", n)
@@ -90,6 +108,32 @@ func Run(ctx context.Context, sweep Sweep, opts Options) (*Report, error) {
 		}
 	}
 	p := &pool{opts: opts, sweep: sweep, manifest: m, path: path}
+	var campaign *telem.Emitter
+	if opts.TelemDir != "" {
+		fp := m.Fingerprint
+		e, err := telem.OpenEmitter(opts.TelemDir, "fleet", fp)
+		if err != nil {
+			return nil, err
+		}
+		campaign = e
+		defer campaign.Close()
+		campaign.Campaign(len(m.Records), opts.Workers, sweep.Cycles)
+		for _, name := range requeued {
+			campaign.Shard(name, telem.EventRequeue, "", 0)
+		}
+		if err := campaign.Sync(); err != nil {
+			return nil, err
+		}
+		p.telem = make([]*telem.Emitter, opts.Workers)
+		for w := range p.telem {
+			we, err := telem.OpenEmitter(opts.TelemDir, strconv.Itoa(w), fp)
+			if err != nil {
+				return nil, err
+			}
+			p.telem[w] = we
+			defer we.Close()
+		}
+	}
 	if err := p.save(); err != nil {
 		return nil, err
 	}
@@ -104,7 +148,34 @@ func Run(ctx context.Context, sweep Sweep, opts Options) (*Report, error) {
 				p.work(ctx, worker)
 			}(w)
 		}
+		var mxWG sync.WaitGroup
+		stopMx := make(chan struct{})
+		if campaign != nil && opts.Mx != nil {
+			// Periodic fleet counter deltas onto the campaign stream (ops
+			// plane): one snapshot diff per tick, one final flush on stop.
+			mxWG.Add(1)
+			go func() {
+				defer mxWG.Done()
+				var prev *obs.Snapshot
+				tick := time.NewTicker(time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopMx:
+						campaign.Metrics(opts.Mx.Snapshot(), prev)
+						_ = campaign.Sync()
+						return
+					case <-tick.C:
+						snap := opts.Mx.Snapshot()
+						campaign.Metrics(snap, prev)
+						prev = snap
+					}
+				}
+			}()
+		}
 		wg.Wait()
+		close(stopMx)
+		mxWG.Wait()
 	}
 	if err := ctx.Err(); err != nil {
 		p.mu.Lock()
@@ -166,6 +237,15 @@ func (p *pool) bump(idx int, f func(*Record)) {
 	p.mu.Unlock()
 }
 
+// emitter returns the worker's telemetry emitter (nil when telemetry is
+// off — every emitter method is nil-safe).
+func (p *pool) emitter(worker int) *telem.Emitter {
+	if worker < len(p.telem) {
+		return p.telem[worker]
+	}
+	return nil
+}
+
 // work is one worker's loop: claim, execute with panic isolation, retry
 // with deterministic backoff, record, repeat until the queue drains or the
 // context is cancelled.
@@ -184,6 +264,9 @@ func (p *pool) work(ctx context.Context, worker int) {
 			return p.manifest.Records[idx]
 		}()
 		sh := rec.Shard
+		e := p.emitter(worker)
+		e.Shard(sh.Name, telem.EventClaim, "", sh.Cycles)
+		_ = e.Sync()
 		var res *ShardResult
 		var cause error
 		for attempt := 0; ; attempt++ {
@@ -191,7 +274,7 @@ func (p *pool) work(ctx context.Context, worker int) {
 			if p.opts.Spans != nil {
 				span = p.opts.Spans.Begin("shard:"+sh.Name, obs.CompRunner, int32(idx), 0, 0, 0)
 			}
-			res, cause = p.runShard(ctx, idx, sh)
+			res, cause = p.runShard(ctx, idx, sh, e)
 			if p.opts.Spans != nil {
 				p.opts.Spans.End(span, sh.Cycles)
 			}
@@ -204,6 +287,7 @@ func (p *pool) work(ctx context.Context, worker int) {
 				r.BackoffNs += int64(delay)
 			})
 			p.opts.Mx.Inc(obs.CtrFleetRetries, 0)
+			e.Shard(sh.Name, telem.EventRetry, cause.Error(), 0)
 			logf(p.opts.Log, "fleet: worker %d shard %s attempt %d failed (%v); retrying in %s\n",
 				worker, sh.Name, attempt+1, cause, delay)
 			select {
@@ -211,15 +295,32 @@ func (p *pool) work(ctx context.Context, worker int) {
 			case <-time.After(delay):
 			}
 		}
+		// Telemetry for a terminal state is emitted AND synced before the
+		// manifest transition is saved: the durable stream is never
+		// behind the durable manifest, so a resumed collector always sees
+		// every shard the manifest says finished.
 		switch {
 		case cause == nil:
+			e.SpanBegin(sh.Name, "shard:"+sh.Name, 0)
+			e.SpanEnd(sh.Name, "shard:"+sh.Name, 0, sh.Cycles)
+			leak := 0.0
+			if res.Interference {
+				leak = 1
+			}
+			e.Point("leak/"+sh.Scheme+"/"+sh.Name, sh.Cycles, leak)
+			e.Shard(sh.Name, telem.EventDone, "", sh.Cycles)
+			_ = e.Sync()
 			_ = p.finish(idx, StatusDone, res, nil)
 			p.opts.Mx.Inc(obs.CtrFleetShardsDone, 0)
 			logf(p.opts.Log, "fleet: worker %d shard %s done\n", worker, sh.Name)
 		case ctx.Err() != nil:
 			// Interrupted, not failed: park the shard for the resume.
+			e.Shard(sh.Name, telem.EventRequeue, "", 0)
+			_ = e.Sync()
 			_ = p.finish(idx, StatusPending, nil, nil)
 		default:
+			e.Shard(sh.Name, telem.EventFailed, cause.Error(), 0)
+			_ = e.Sync()
 			_ = p.finish(idx, StatusFailed, nil, cause)
 			p.opts.Mx.Inc(obs.CtrFleetShardsFailed, 0)
 			logf(p.opts.Log, "fleet: worker %d shard %s FAILED: %v\n", worker, sh.Name, cause)
@@ -230,7 +331,7 @@ func (p *pool) work(ctx context.Context, worker int) {
 // runShard executes one attempt with panic isolation: a panicking shard
 // (a seeded fault-injection campaign gone wrong, a model bug) takes down
 // its attempt, not the fleet.
-func (p *pool) runShard(ctx context.Context, idx int, sh Shard) (res *ShardResult, err error) {
+func (p *pool) runShard(ctx context.Context, idx int, sh Shard, e *telem.Emitter) (res *ShardResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("fleet: shard %s panicked: %v", sh.Name, r)
@@ -249,11 +350,37 @@ func (p *pool) runShard(ctx context.Context, idx int, sh Shard) (res *ShardResul
 			p.bump(idx, func(r *Record) { r.Resumes++ })
 			p.opts.Mx.Inc(obs.CtrFleetResumes, 0)
 		},
+		OnChunk: func(lo, hi uint64, c sim.ClusterCounters) {
+			if e == nil {
+				return
+			}
+			// Chunk bounds are deterministic (multiples of the
+			// checkpoint interval), so a crash-replayed chunk re-emits
+			// byte-identical deterministic records and the collector's
+			// dedup collapses them. The Sync runs before RunShard cuts
+			// the chunk's checkpoint — see ShardOptions.OnChunk.
+			e.Heartbeat(sh.Name, hi)
+			e.SpanBegin(sh.Name, "chunk", lo)
+			e.SpanEnd(sh.Name, "chunk", lo, hi)
+			e.Point("completed/"+sh.Name, hi, float64(c.Completed))
+			e.Point("issued/"+sh.Name, hi, float64(c.Issued))
+			e.Point("stalls/"+sh.Name, hi, float64(c.Stalls))
+			_ = e.Sync()
+		},
 	})
 }
 
+// logMu serializes fleet log lines: logf formats first and issues one
+// Write under the lock, so concurrent workers sharing a log writer can
+// interleave whole lines but never fragments of them.
+var logMu sync.Mutex
+
 func logf(w io.Writer, format string, args ...interface{}) {
-	if w != nil {
-		fmt.Fprintf(w, format, args...)
+	if w == nil {
+		return
 	}
+	line := fmt.Sprintf(format, args...)
+	logMu.Lock()
+	defer logMu.Unlock()
+	_, _ = io.WriteString(w, line)
 }

@@ -77,7 +77,8 @@ func TestFleetHelperProcess(t *testing.T) {
 	}
 	s := killSweep()
 	s.SliceChannels = 2
-	if _, err := Run(context.Background(), s, Options{Workers: 3, Dir: dir, CheckpointEvery: 2000}); err != nil {
+	opts := Options{Workers: 3, Dir: dir, CheckpointEvery: 2000, TelemDir: filepath.Join(dir, "telem")}
+	if _, err := Run(context.Background(), s, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -86,14 +87,16 @@ func TestFleetHelperProcess(t *testing.T) {
 
 // TestFleetKillResume pins the rest of the headline invariant: a fleet
 // SIGKILL'd mid-flight, then resumed from its manifest, merges to the same
-// bytes as an uninterrupted single-worker run.
+// bytes as an uninterrupted single-worker run — and so does the fleet
+// telemetry report collected from the per-worker streams.
 func TestFleetKillResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess kill test skipped in -short mode")
 	}
 	s := killSweep()
 	s.SliceChannels = 2
-	ref := runSweep(t, s, Options{Workers: 1, Dir: t.TempDir(), CheckpointEvery: 2000})
+	refTelem := t.TempDir()
+	ref := runSweep(t, s, Options{Workers: 1, Dir: t.TempDir(), CheckpointEvery: 2000, TelemDir: refTelem})
 
 	killDir := t.TempDir()
 	cmd := exec.Command(os.Args[0], "-test.run=TestFleetHelperProcess$")
@@ -136,9 +139,17 @@ func TestFleetKillResume(t *testing.T) {
 		t.Fatalf("fleet finished before the kill; enlarge killSweep (child output:\n%s)", childOut.String())
 	}
 
-	got := runSweep(t, s, Options{Workers: 3, Dir: killDir, CheckpointEvery: 2000})
+	got := runSweep(t, s, Options{Workers: 3, Dir: killDir, CheckpointEvery: 2000, TelemDir: filepath.Join(killDir, "telem")})
 	if !bytes.Equal(ref, got) {
 		t.Fatalf("killed+resumed fleet differs from uninterrupted run:\n--- reference ---\n%s\n--- resumed ---\n%s", ref, got)
+	}
+	// The telemetry plane honors the same contract: the killed worker's
+	// torn stream plus the resume's replayed chunks collapse to the exact
+	// bytes of the uninterrupted single-worker report.
+	a := telemReport(t, refTelem)
+	b := telemReport(t, filepath.Join(killDir, "telem"))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("killed+resumed telemetry report differs:\n--- reference ---\n%s\n--- resumed ---\n%s", a, b)
 	}
 }
 

@@ -44,6 +44,15 @@ type ShardOptions struct {
 	OnCheckpoint func()
 	// OnResume, if set, is called when a checkpoint frame was restored.
 	OnResume func()
+	// OnChunk, if set, is called after every simulated chunk with the
+	// chunk's cycle bounds and the secret-A twin's counters — BEFORE the
+	// chunk's checkpoint is cut. That ordering is load-bearing for the
+	// telemetry plane: the pool emits (and fsyncs) the chunk's telemetry
+	// inside this hook, so by the time the checkpoint that lets a resume
+	// skip the chunk is durable, the chunk's records already are too —
+	// a SIGKILL can duplicate telemetry (the collector dedups) but can
+	// never leave a hole in it.
+	OnChunk func(lo, hi uint64, counters sim.ClusterCounters)
 }
 
 // pairState is the checkpoint payload: both twins, cut at the same cycle.
@@ -110,8 +119,12 @@ func RunShard(ctx context.Context, base config.MultiChannelConfig, sh Shard, opt
 		if rem := sh.Cycles - a.Now(); chunk > rem {
 			chunk = rem
 		}
+		lo := a.Now()
 		a.Run(chunk)
 		b.Run(chunk)
+		if opt.OnChunk != nil {
+			opt.OnChunk(lo, a.Now(), a.Counters())
+		}
 		if ckptPath != "" && a.Now() < sh.Cycles {
 			if err := saveCheckpoint(ckptPath, a, b); err != nil {
 				return nil, err

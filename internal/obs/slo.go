@@ -41,6 +41,31 @@ type Rule struct {
 	// MinPoints suppresses evaluation until the series holds at least
 	// this many points (default 1), so cold series cannot flap.
 	MinPoints int `json:"min_points,omitempty"`
+	// Severity labels alerts from this rule: "info", "warning" (default)
+	// or "critical". Consumers (dagmon -min-severity) filter on it.
+	Severity string `json:"severity,omitempty"`
+}
+
+// Severity levels, weakest first.
+const (
+	SeverityInfo     = "info"
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
+)
+
+// SeverityRank orders severities for filtering: info < warning <
+// critical. Unknown strings rank below info.
+func SeverityRank(s string) int {
+	switch s {
+	case SeverityInfo:
+		return 1
+	case SeverityWarning:
+		return 2
+	case SeverityCritical:
+		return 3
+	default:
+		return 0
+	}
 }
 
 // Validate checks one rule, applying defaults in place.
@@ -71,6 +96,13 @@ func (r *Rule) Validate() error {
 	if r.MinPoints <= 0 {
 		r.MinPoints = 1
 	}
+	switch r.Severity {
+	case "":
+		r.Severity = SeverityWarning
+	case SeverityInfo, SeverityWarning, SeverityCritical:
+	default:
+		return fmt.Errorf("obs: rule %q has unknown severity %q (want info, warning or critical)", r.Name, r.Severity)
+	}
 	return nil
 }
 
@@ -83,9 +115,9 @@ func (r *Rule) Validate() error {
 // a -alert-rules JSON file when the defaults don't fit.
 func DefaultRules() []Rule {
 	rules := []Rule{
-		{Name: "leak-budget-burn", Series: "leak_burn/*", Kind: RuleBurnRate, Threshold: 0.5, Window: 4, MinPoints: 2},
+		{Name: "leak-budget-burn", Series: "leak_burn/*", Kind: RuleBurnRate, Threshold: 0.5, Window: 4, MinPoints: 2, Severity: SeverityCritical},
 		{Name: "shard-queue-saturation", Series: "queue_sat/*", Kind: RuleThreshold, Threshold: 0.75},
-		{Name: "watchdog-stall", Series: "stall/*", Kind: RuleThreshold, Threshold: 1},
+		{Name: "watchdog-stall", Series: "stall/*", Kind: RuleThreshold, Threshold: 1, Severity: SeverityCritical},
 		{Name: "retry-rate", Series: "retry_rate/*", Kind: RuleBurnRate, Threshold: 0.5, Window: 8, MinPoints: 4},
 	}
 	for i := range rules {
@@ -130,6 +162,8 @@ type Alert struct {
 	Value     float64 `json:"value"`
 	Threshold float64 `json:"threshold"`
 	Op        string  `json:"op"`
+	// Severity copies the rule's severity onto each edge.
+	Severity string `json:"severity,omitempty"`
 }
 
 // Engine evaluates rules against a TSDB and emits deduplicated alert
@@ -200,13 +234,13 @@ func (e *Engine) Eval(t uint64) []Alert {
 				e.active[key] = true
 				edges = append(edges, e.record(Alert{
 					T: t, Rule: r.Name, Series: series, State: "firing",
-					Value: value, Threshold: r.Threshold, Op: r.Op,
+					Value: value, Threshold: r.Threshold, Op: r.Op, Severity: r.Severity,
 				}))
 			case !violated && e.active[key]:
 				delete(e.active, key)
 				edges = append(edges, e.record(Alert{
 					T: t, Rule: r.Name, Series: series, State: "resolved",
-					Value: value, Threshold: r.Threshold, Op: r.Op,
+					Value: value, Threshold: r.Threshold, Op: r.Op, Severity: r.Severity,
 				}))
 			}
 		}

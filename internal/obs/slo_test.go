@@ -152,3 +152,36 @@ func TestParseRules(t *testing.T) {
 		}
 	}
 }
+
+func TestRuleSeverity(t *testing.T) {
+	// Default and validation.
+	r := Rule{Name: "r", Series: "s", Threshold: 1}
+	if err := r.Validate(); err != nil || r.Severity != SeverityWarning {
+		t.Fatalf("default severity: %q err=%v", r.Severity, err)
+	}
+	bad := Rule{Name: "r", Series: "s", Threshold: 1, Severity: "shouting"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown severity accepted")
+	}
+
+	// Rank ordering for -min-severity filtering.
+	if !(SeverityRank("") < SeverityRank(SeverityInfo) &&
+		SeverityRank(SeverityInfo) < SeverityRank(SeverityWarning) &&
+		SeverityRank(SeverityWarning) < SeverityRank(SeverityCritical)) {
+		t.Fatal("severity ranks out of order")
+	}
+
+	// Alerts carry the rule's severity on both edge kinds.
+	db := NewTSDB(4)
+	eng := NewEngine(db, []Rule{{Name: "crit", Series: "x", Threshold: 1, Severity: SeverityCritical}})
+	db.Append("x", 1, 5)
+	firing := eng.Eval(1)
+	db.Append("x", 2, 0)
+	resolved := eng.Eval(2)
+	if len(firing) != 1 || firing[0].Severity != SeverityCritical {
+		t.Fatalf("firing edge severity: %+v", firing)
+	}
+	if len(resolved) != 1 || resolved[0].Severity != SeverityCritical {
+		t.Fatalf("resolved edge severity: %+v", resolved)
+	}
+}

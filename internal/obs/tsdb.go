@@ -46,6 +46,17 @@ func NewTSDB(capPerSeries int) *TSDB {
 
 // Append records (t, v) into the named series, creating it on first
 // use. No-op on nil.
+//
+// Contract: Append preserves insertion order verbatim. Points are
+// retained exactly as given — an out-of-order timestamp is NOT
+// re-sorted into place, and duplicate timestamps are all kept as
+// distinct points. Window/Last therefore mean "most recently appended",
+// not "largest T". Producers that feed a TSDB from multiple merged
+// sources (the fleet telemetry collector folding per-worker streams)
+// must canonicalize first — sort by (series, T) and collapse duplicate
+// timestamps — before appending, or derived values (burn rates,
+// last-point thresholds) silently depend on arrival order. Pinned by
+// TestTSDBAppendOrderContract.
 func (db *TSDB) Append(name string, t uint64, v float64) {
 	if db == nil {
 		return

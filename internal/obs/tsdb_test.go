@@ -30,6 +30,33 @@ func TestTSDBAppendAndWindow(t *testing.T) {
 	}
 }
 
+// TestTSDBAppendOrderContract pins the Append contract the fleet
+// telemetry collector depends on: insertion order is preserved verbatim
+// — an out-of-order timestamp is not re-sorted into place, duplicate
+// timestamps are all kept as distinct points, and Last means "most
+// recently appended", not "largest T". Merging producers must
+// canonicalize before appending.
+func TestTSDBAppendOrderContract(t *testing.T) {
+	db := NewTSDB(8)
+	db.Append("s", 10, 1)
+	db.Append("s", 30, 3)
+	db.Append("s", 20, 2) // out of order: retained as given
+	db.Append("s", 30, 9) // duplicate timestamp: kept, not collapsed
+	want := []Point{{10, 1}, {30, 3}, {20, 2}, {30, 9}}
+	if got := db.Series("s"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("series = %+v, want insertion order %+v", got, want)
+	}
+	if last, ok := db.Last("s"); !ok || last != (Point{30, 9}) {
+		t.Fatalf("Last = %+v %v, want the most recently appended point", last, ok)
+	}
+	// Window is a suffix of insertion order, so derived values (burn
+	// rates) see arrival order too — exactly why mergers must sort and
+	// dedup first.
+	if got := db.Window("s", 2); !reflect.DeepEqual(got, []Point{{20, 2}, {30, 9}}) {
+		t.Fatalf("window(2) = %+v", got)
+	}
+}
+
 func TestTSDBNilIsNoOp(t *testing.T) {
 	var db *TSDB
 	db.Append("x", 1, 2)

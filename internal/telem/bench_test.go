@@ -1,0 +1,80 @@
+package telem
+
+import (
+	"testing"
+)
+
+// BenchmarkDisabledEmitter pins the cost of telemetry call sites when
+// telemetry is off: five nil-receiver method calls per iteration (one
+// heartbeat, one point, one span pair, one lifecycle event — the mix a
+// fleet chunk emits). The CI bench guard asserts the whole bundle stays
+// within ~2 ns per site, so leaving the call sites unconditional in the
+// hot shard loop is free.
+func BenchmarkDisabledEmitter(b *testing.B) {
+	var e *Emitter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Heartbeat("shard", uint64(i))
+		e.Point("completed/shard", uint64(i), 1)
+		e.SpanBegin("shard", "chunk", uint64(i))
+		e.SpanEnd("shard", "chunk", uint64(i), uint64(i)+1)
+		e.Shard("shard", EventClaim, "", 0)
+	}
+}
+
+// BenchmarkCollect measures collector throughput folding a realistic
+// multi-worker directory: 4 workers x 32 shards x 16 chunks of points,
+// spans and lifecycle records.
+func BenchmarkCollect(b *testing.B) {
+	dir := b.TempDir()
+	for w := 0; w < 4; w++ {
+		e, err := OpenEmitter(dir, string(rune('0'+w)), "bench-fp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.SetClock(fixedBenchClock(int64(w) * 1000))
+		for s := 0; s < 32; s++ {
+			if s%4 != w {
+				continue
+			}
+			name := shardName(s)
+			e.Shard(name, EventClaim, "", 16_000)
+			for c := uint64(0); c < 16; c++ {
+				lo, hi := c*1000, (c+1)*1000
+				e.Heartbeat(name, hi)
+				e.SpanBegin(name, "chunk", lo)
+				e.SpanEnd(name, "chunk", lo, hi)
+				e.Point("completed/"+name, hi, float64(hi/2))
+				e.Point("issued/"+name, hi, float64(hi))
+				e.Point("stalls/"+name, hi, float64(hi/8))
+			}
+			e.Point("leak/insecure/"+name, 16_000, float64(s%2))
+			e.Shard(name, EventDone, "", 16_000)
+		}
+		if err := e.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := Collect(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Shards) != 32 {
+			b.Fatalf("folded %d shards", len(c.Shards))
+		}
+	}
+}
+
+func fixedBenchClock(base int64) func() int64 {
+	t := base
+	return func() int64 {
+		t++
+		return t
+	}
+}
+
+func shardName(i int) string {
+	return "shard-" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+}

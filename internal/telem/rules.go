@@ -1,0 +1,160 @@
+package telem
+
+import (
+	"sort"
+
+	"dagguise/internal/obs"
+)
+
+// DetRules is the deterministic-plane fleet rule catalog, evaluated
+// over the merged logical-cycle TSDB inside Report. Everything here is
+// a pure function of the sweep, so the resulting alert sequence is part
+// of the byte-identical report contract.
+func DetRules() []obs.Rule {
+	rules := []obs.Rule{
+		// leak_rate/<scheme> is the collector's rollup: the fraction of
+		// the scheme's shards whose audit found cross-domain
+		// interference. Any scheme leaking in half its shards or more is
+		// burning the campaign's leakage budget.
+		{Name: "fleet-leak-budget-burn", Series: "leak_rate/*", Kind: obs.RuleThreshold, Threshold: 0.5, Severity: obs.SeverityCritical},
+	}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			panic(err) // stock catalog must be valid by construction
+		}
+	}
+	return rules
+}
+
+// FleetRules is the ops-plane rule catalog evaluated by EvalOps against
+// wall-clock-derived series. These drive dagtop and dagmon during a
+// live campaign and are deliberately excluded from the deterministic
+// report.
+func FleetRules() []obs.Rule {
+	rules := []obs.Rule{
+		// straggler/<shard>: wall-clock elapsed of a running shard as a
+		// multiple of the median done-shard duration.
+		{Name: "straggler", Series: "straggler/*", Kind: obs.RuleThreshold, Threshold: 3},
+		// worker_stall/<worker>: seconds since the worker's last
+		// heartbeat, appended only while it holds a running shard.
+		{Name: "worker-stall", Series: "worker_stall/*", Kind: obs.RuleThreshold, Threshold: 30, Severity: obs.SeverityCritical},
+		// requeue_rate: 0/1 indicator per lifecycle transition (claims
+		// score 0, requeues 1) — a burn rate over recent transitions.
+		{Name: "requeue-rate", Series: "requeue_rate", Kind: obs.RuleBurnRate, Threshold: 0.5, Window: 8, MinPoints: 4},
+	}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+	return rules
+}
+
+// Straggler ranks one running shard against the fleet's median pace.
+type Straggler struct {
+	Shard     string
+	Worker    string
+	ElapsedMs int64
+	// Ratio is elapsed over the median done-shard duration (0 when no
+	// shard has finished yet).
+	Ratio float64
+}
+
+// EvalOps evaluates the ops-plane rules at wall time nowMs (unix
+// milliseconds — inject a fixed clock in tests) and returns the alert
+// edges plus the straggler ranking, slowest first. It builds a fresh
+// TSDB and engine per call, so calling it repeatedly on successive
+// collections (the dagtop refresh loop) never double-counts.
+func (c *Collection) EvalOps(nowMs int64, rules []obs.Rule) ([]obs.Alert, []Straggler) {
+	if rules == nil {
+		rules = FleetRules()
+	}
+	db := obs.NewTSDB(0)
+
+	// Requeue-rate indicators, in global lifecycle order.
+	i := uint64(0)
+	for _, r := range c.lifecycle {
+		switch r.Event {
+		case EventClaim:
+			db.Append("requeue_rate", i, 0)
+			i++
+		case EventRequeue:
+			db.Append("requeue_rate", i, 1)
+			i++
+		}
+	}
+
+	// Straggler ratios for running shards against the median pace.
+	p50 := c.medianDoneMs()
+	var rank []Straggler
+	for _, st := range c.Shards {
+		if st.State != "claim" || st.ClaimWall <= 0 || nowMs < st.ClaimWall {
+			continue
+		}
+		elapsed := nowMs - st.ClaimWall
+		s := Straggler{Shard: st.Name, Worker: st.Worker, ElapsedMs: elapsed}
+		if p50 > 0 {
+			s.Ratio = float64(elapsed) / p50
+		}
+		db.Append("straggler/"+st.Name, uint64(nowMs), s.Ratio)
+		rank = append(rank, s)
+	}
+	sort.Slice(rank, func(i, j int) bool {
+		if rank[i].Ratio != rank[j].Ratio {
+			return rank[i].Ratio > rank[j].Ratio
+		}
+		if rank[i].ElapsedMs != rank[j].ElapsedMs {
+			return rank[i].ElapsedMs > rank[j].ElapsedMs
+		}
+		return rank[i].Shard < rank[j].Shard
+	})
+
+	// Heartbeat gaps for workers still holding work.
+	for _, w := range c.Workers {
+		if len(w.Running) == 0 || w.LastWall <= 0 || nowMs < w.LastWall {
+			continue
+		}
+		db.Append("worker_stall/"+w.Name, uint64(nowMs), float64(nowMs-w.LastWall)/1000)
+	}
+
+	eng := obs.NewEngine(db, rules)
+	alerts := eng.Eval(uint64(nowMs))
+	return alerts, rank
+}
+
+// medianDoneMs is the median wall duration of finished shards in
+// milliseconds (0 when none have finished).
+func (c *Collection) medianDoneMs() float64 {
+	var durs []float64
+	for _, st := range c.Shards {
+		if st.State == "done" && st.EndWall >= st.ClaimWall && st.ClaimWall > 0 {
+			durs = append(durs, float64(st.EndWall-st.ClaimWall))
+		}
+	}
+	if len(durs) == 0 {
+		return 0
+	}
+	sort.Float64s(durs)
+	return durs[len(durs)/2]
+}
+
+// ETA estimates milliseconds until the campaign finishes, from the
+// median done-shard duration, the remaining shard count and the worker
+// pool size. ok is false until at least one shard has finished.
+func (c *Collection) ETA() (ms int64, ok bool) {
+	p50 := c.medianDoneMs()
+	if p50 <= 0 {
+		return 0, false
+	}
+	pending, running, _, _ := c.Counts()
+	remaining := pending + running
+	if remaining == 0 {
+		return 0, true
+	}
+	workers := c.PoolWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	waves := (remaining + workers - 1) / workers
+	return int64(float64(waves) * p50), true
+}
