@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dagguise/internal/ckpt"
+	"dagguise/internal/fault"
 	"dagguise/internal/fleet"
 	"dagguise/internal/obs"
 	"dagguise/internal/runner"
@@ -21,12 +22,18 @@ import (
 // injection on a two-core machine, dagchaos fans a multi-channel,
 // many-tenant non-interference sweep over a worker pool (internal/fleet).
 type fleetFlags struct {
-	shards   int
-	workers  int
-	channels int
-	domains  int
-	telemDir string
-	promOut  string
+	shards        int
+	workers       int
+	channels      int
+	domains       int
+	telemDir      string
+	promOut       string
+	join          bool
+	proc          string
+	leaseTTL      time.Duration
+	faultEvents   int
+	fsChaos       int64
+	fsChaosEvents int
 }
 
 func registerFleetFlags() *fleetFlags {
@@ -37,6 +44,12 @@ func registerFleetFlags() *fleetFlags {
 	flag.IntVar(&f.domains, "domains", 100, "fleet mode: tenant security domains")
 	flag.StringVar(&f.telemDir, "telem-dir", "", "fleet mode: write per-worker telemetry streams here and a deterministic telem-report.json after the run (watch live with dagtop -dir)")
 	flag.StringVar(&f.promOut, "prom-out", "", "fleet mode: write fleet_* and per-shard counters in Prometheus text format to this path after the run")
+	flag.BoolVar(&f.join, "join", false, "fleet mode: join an existing fleet directory as one of several cooperating processes (requires -checkpoint-dir; shard ownership is arbitrated by lease files)")
+	flag.StringVar(&f.proc, "proc", "", "fleet mode: process name for -join (namespaces telemetry streams and lease owners; default p<pid>)")
+	flag.DurationVar(&f.leaseTTL, "lease-ttl", 0, "fleet mode: shard lease TTL — an unrenewed lease is presumed dead and stealable after this long (0 = 10s)")
+	flag.IntVar(&f.faultEvents, "fault-events", 0, "fleet mode: derive a seeded per-shard fault campaign of this many events (DRAM stalls, shaper rejects, egress stalls, deferred responses) from the sweep fingerprint (0 = clean sweep)")
+	flag.Int64Var(&f.fsChaos, "fs-chaos", 0, "fleet mode: seed for injected storage faults (torn writes, EIO, rename stalls, fsync delays) under every manifest/lease/checkpoint/result write (0 = off)")
+	flag.IntVar(&f.fsChaosEvents, "fs-chaos-events", 16, "fleet mode: number of storage faults injected per process when -fs-chaos is set")
 	return f
 }
 
@@ -56,6 +69,7 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 		seeds[i] = baseSeed + int64(i)
 	}
 	sweep := fleet.DefaultSweep(f.channels, f.domains, seeds, cycles)
+	sweep.FaultEvents = f.faultEvents
 	switch schemeFlag {
 	case "all":
 	case "insecure", "dagguise":
@@ -70,6 +84,10 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 	}
 	sweep.SliceChannels = (f.channels + f.shards - 1) / f.shards
 
+	if f.join && dir == "" {
+		fmt.Fprintln(os.Stderr, "dagchaos: -join needs -checkpoint-dir (the shared fleet directory)")
+		return 2
+	}
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "dagchaos-fleet-*")
 		if err != nil {
@@ -79,6 +97,26 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 		defer os.RemoveAll(tmp)
 		fmt.Fprintf(os.Stderr, "dagchaos: no -checkpoint-dir; using throwaway manifest dir %s (not resumable)\n", tmp)
 		dir = tmp
+	}
+	proc := ""
+	if f.join {
+		proc = f.proc
+		if proc == "" {
+			proc = fmt.Sprintf("p%d", os.Getpid())
+		}
+	}
+	var fsInj *fault.FSInjector
+	if f.fsChaos != 0 {
+		ops := 8 * f.fsChaosEvents
+		if ops < 64 {
+			ops = 64
+		}
+		inj, err := fault.NewFSInjector(fault.FSCampaign(f.fsChaos, ops, f.fsChaosEvents))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagchaos:", err)
+			return 1
+		}
+		fsInj = inj
 	}
 
 	var mx *obs.Registry
@@ -113,6 +151,9 @@ func runFleet(f *fleetFlags, schemeFlag string, campaigns int, baseSeed int64, c
 		Spans:           sp,
 		Mx:              mx,
 		TelemDir:        f.telemDir,
+		Proc:            proc,
+		LeaseTTL:        f.leaseTTL,
+		FS:              fsInj,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFSCampaignIsSeedDeterministic(t *testing.T) {
+	a := FSCampaign(42, 100, 12)
+	b := FSCampaign(42, 100, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different storage schedules")
+	}
+	c := FSCampaign(43, 100, 12)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical storage schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("campaign schedule fails its own validation: %v", err)
+	}
+	if len(a.Events) != 12 {
+		t.Fatalf("got %d events, want 12", len(a.Events))
+	}
+	for i, e := range a.Events {
+		if e.Op < 0 || e.Op >= 100 {
+			t.Fatalf("event %d targets op %d outside [0,100)", i, e.Op)
+		}
+	}
+}
+
+func TestFSScheduleValidate(t *testing.T) {
+	bad := []FSSchedule{
+		{Events: []FSEvent{{Kind: FSKind(99), Op: 0}}},
+		{Events: []FSEvent{{Kind: FSWriteEIO, Op: -1}}},
+		{Events: []FSEvent{{Kind: FSRenameStall, Op: 0}}}, // delay kinds need DelayMs
+		{Events: []FSEvent{{Kind: FSFsyncDelay, Op: 0, DelayMs: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("schedule %d validated but is malformed", i)
+		}
+	}
+	good := FSSchedule{Events: []FSEvent{
+		{Kind: FSTornWrite, Op: 0},
+		{Kind: FSWriteEIO, Op: 3},
+		{Kind: FSRenameStall, Op: 5, DelayMs: 2},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSInjectorSequencesByOpIndex(t *testing.T) {
+	in, err := NewFSInjector(FSSchedule{Events: []FSEvent{
+		{Kind: FSWriteEIO, Op: 1},
+		{Kind: FSTornWrite, Op: 3},
+		{Kind: FSWriteEIO, Op: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]FSEvent
+	for op := 0; op < 5; op++ {
+		got = append(got, in.NextOp())
+	}
+	if got[0] != nil || got[2] != nil || got[4] != nil {
+		t.Fatal("fault-free ops returned events")
+	}
+	if len(got[1]) != 1 || got[1][0].Kind != FSWriteEIO {
+		t.Fatalf("op 1: %+v, want one write-eio", got[1])
+	}
+	// Two faults on one op come back kind-sorted (torn-write < write-eio).
+	if len(got[3]) != 2 || got[3][0].Kind != FSTornWrite || got[3][1].Kind != FSWriteEIO {
+		t.Fatalf("op 3: %+v, want torn-write then write-eio", got[3])
+	}
+}
+
+func TestFSInjectorNilIsNoOp(t *testing.T) {
+	var in *FSInjector
+	if evs := in.NextOp(); evs != nil {
+		t.Fatal("nil injector returned events")
+	}
+}
+
+func TestNewFSInjectorRejectsMalformed(t *testing.T) {
+	_, err := NewFSInjector(FSSchedule{Events: []FSEvent{{Kind: FSRenameStall, Op: 0}}})
+	if err == nil {
+		t.Fatal("malformed schedule accepted")
+	}
+}

@@ -13,11 +13,14 @@ package fleet
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
 	"dagguise/internal/config"
+	"dagguise/internal/fault"
+	"dagguise/internal/mem"
 )
 
 // Shard is one work-queue entry: a (scheme, seed, channel-slice) cell.
@@ -48,6 +51,14 @@ type Sweep struct {
 	// encode; the non-interference verdict compares their digests.
 	SecretA int `json:"secret_a"`
 	SecretB int `json:"secret_b"`
+	// FaultEvents, when positive, turns the sweep into a fault campaign:
+	// every shard runs under a fault.Schedule of this many events, derived
+	// deterministically from the sweep fingerprint and the shard name (see
+	// ShardFaultSchedule). Both twins of a shard share the schedule, so
+	// the non-interference verdict extends to the faulty machine. Zero
+	// (the omitted default) keeps the sweep clean — and its fingerprint
+	// identical to pre-fault-campaign builds.
+	FaultEvents int `json:"fault_events,omitempty"`
 	// Config is the machine; its Scheme field is ignored.
 	Config config.MultiChannelConfig `json:"config"`
 }
@@ -87,6 +98,9 @@ func (s Sweep) Validate() error {
 	}
 	if s.SecretA == s.SecretB {
 		return fmt.Errorf("fleet: twin secrets must differ, both are %d", s.SecretA)
+	}
+	if s.FaultEvents < 0 {
+		return fmt.Errorf("fleet: negative fault event count %d", s.FaultEvents)
 	}
 	cfg := s.Config
 	for _, name := range s.Schemes {
@@ -130,6 +144,31 @@ func (s Sweep) Shards() ([]Shard, error) {
 		}
 	}
 	return out, nil
+}
+
+// ShardFaultSchedule derives the fault campaign for one shard of the
+// sweep: the seed is the first eight bytes of SHA-256(fingerprint |
+// shard name), so the schedule is a pure function of the sweep spec and
+// the shard — any fleet process (and any resume) derives the identical
+// faults, and a campaign failure replays from the sweep alone. Only the
+// protected domains are eligible for domain-scoped faults; the horizon
+// is the shard's cycle budget.
+func (s Sweep) ShardFaultSchedule(fingerprint string, sh Shard) fault.Schedule {
+	if s.FaultEvents <= 0 {
+		return fault.Schedule{}
+	}
+	sum := sha256.Sum256([]byte(fingerprint + "|" + sh.Name))
+	seed := int64(binary.LittleEndian.Uint64(sum[:8]) >> 1)
+	var doms []mem.Domain
+	for i := 0; i < s.Config.Protected; i++ {
+		doms = append(doms, mem.Domain(i+1))
+	}
+	return fault.Campaign(seed, fault.CampaignConfig{
+		Horizon:  sh.Cycles,
+		Domains:  doms,
+		MaxStorm: sh.Cycles/32 + 1,
+		Events:   s.FaultEvents,
+	})
 }
 
 // Fingerprint hashes the sweep specification. A manifest records it so a

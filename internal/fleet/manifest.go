@@ -19,6 +19,12 @@ const ManifestName = "fleet-manifest.json"
 // version) does not match the sweep being resumed.
 var ErrManifestMismatch = errors.New("fleet: manifest does not match the sweep")
 
+// ErrManifestCorrupt reports a manifest whose records are structurally
+// invalid — e.g. a hand-edited or future-version Status string. Loading
+// fails loudly instead of silently miscounting the record in Counts and
+// never scheduling it.
+var ErrManifestCorrupt = errors.New("fleet: manifest is corrupt")
+
 // Status is a shard's work-queue state.
 type Status string
 
@@ -49,6 +55,23 @@ type Record struct {
 	Resumes     int          `json:"resumes"`
 	Error       string       `json:"error,omitempty"`
 	Result      *ShardResult `json:"result,omitempty"`
+	// Owner and Epoch mirror the shard's lease while it is running: the
+	// holder identity and fencing epoch observed at the last reconcile or
+	// claim. Steals and Fenced count lease evictions and refused zombie
+	// commits involving this shard.
+	Owner  string `json:"owner,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Steals int    `json:"steals,omitempty"`
+	Fenced int    `json:"fenced,omitempty"`
+}
+
+// validStatus reports whether s is a Status this build understands.
+func validStatus(s Status) bool {
+	switch s {
+	case StatusPending, StatusRunning, StatusDone, StatusFailed:
+		return true
+	}
+	return false
 }
 
 // Manifest is the fsync'd work queue of a fleet run.
@@ -88,6 +111,12 @@ func LoadManifest(path string) (*Manifest, error) {
 	if m.Version != ManifestVersion {
 		return nil, fmt.Errorf("%w: version %d, want %d", ErrManifestMismatch, m.Version, ManifestVersion)
 	}
+	for i := range m.Records {
+		if !validStatus(m.Records[i].Status) {
+			return nil, fmt.Errorf("%w: %s: record %d (%s) has unknown status %q",
+				ErrManifestCorrupt, path, i, m.Records[i].Shard.Name, m.Records[i].Status)
+		}
+	}
 	return &m, nil
 }
 
@@ -105,6 +134,12 @@ func (m *Manifest) Matches(s Sweep) error {
 
 // Requeue flips crashed shards (left running by a killed fleet) back to
 // pending and counts the resume. It returns how many it re-queued.
+//
+// Requeue is the crashed-fleet degenerate path: it assumes every running
+// record's owner is dead, which is only safe when no other process can
+// hold a live claim. Multi-process fleets use Reconcile instead, which
+// consults the lease files and re-queues only shards whose leases have
+// actually lapsed.
 func (m *Manifest) Requeue() int {
 	n := 0
 	for i := range m.Records {
@@ -139,9 +174,18 @@ func (m *Manifest) Counts() (pending, running, done, failed int) {
 // the same atomic protocol as the checkpoint layer, so a crash leaves
 // either the old queue or the new one, never a torn file.
 func (m *Manifest) Save(path string) error {
-	blob, err := json.MarshalIndent(m, "", "  ")
+	blob, err := m.encode()
 	if err != nil {
 		return err
 	}
-	return ckpt.WriteFileAtomic(path, append(blob, '\n'))
+	return ckpt.WriteFileAtomic(path, blob)
+}
+
+// encode renders the manifest's canonical on-disk bytes.
+func (m *Manifest) encode() ([]byte, error) {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
 }

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dagguise/internal/fault"
+)
+
+// telemReportLocal folds a telemetry directory into its deterministic
+// report bytes (shared with pool_test.go's telemReport if present).
+func multiTelemReport(t *testing.T, dir string) []byte {
+	t.Helper()
+	blob := telemReport(t, dir)
+	return blob
+}
+
+// TestFleetMultiProcessInvariant pins the tentpole's headline invariant:
+// the merged fleet report and the deterministic telemetry report are
+// byte-identical whether the sweep ran in one process or in three
+// concurrent ones coordinating purely through lease files — even with
+// seeded storage faults injected under every durable write of each
+// process.
+func TestFleetMultiProcessInvariant(t *testing.T) {
+	s := testSweep(2, 8, 6000)
+	s.Seeds = []int64{1, 2}
+	refTelem := t.TempDir()
+	ref := runSweep(t, s, Options{Workers: 1, Dir: t.TempDir(), CheckpointEvery: 2500, TelemDir: refTelem})
+
+	dir := t.TempDir()
+	telemDir := filepath.Join(dir, "telem")
+	procs := []string{"a", "b", "c"}
+	reports := make([][]byte, len(procs))
+	errs := make([]error, len(procs))
+	var wg sync.WaitGroup
+	for i, proc := range procs {
+		wg.Add(1)
+		go func(i int, proc string) {
+			defer wg.Done()
+			inj, err := fault.NewFSInjector(fault.FSCampaign(int64(100+i), 200, 12))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := Run(context.Background(), s, Options{
+				Workers:         2,
+				Dir:             dir,
+				CheckpointEvery: 2500,
+				TelemDir:        telemDir,
+				Proc:            proc,
+				LeaseTTL:        2 * time.Second,
+				FS:              inj,
+				Backoff:         time.Millisecond,
+				MaxBackoff:      5 * time.Millisecond,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i], errs[i] = rep.Encode()
+		}(i, proc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %s: %v", procs[i], err)
+		}
+	}
+	for i, got := range reports {
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("process %s report differs from single-process reference:\n--- reference ---\n%s\n--- %s ---\n%s",
+				procs[i], ref, procs[i], got)
+		}
+	}
+	a := multiTelemReport(t, refTelem)
+	b := multiTelemReport(t, telemDir)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("multi-process telemetry report differs from single-process reference:\n--- reference ---\n%s\n--- fleet ---\n%s", a, b)
+	}
+}
+
+const zombieEnvDir = "DAGGUISE_FLEET_ZOMBIE_DIR"
+
+// zombieResult is the stale result the SIGSTOP'd worker tries to commit:
+// same shard, deliberately different bytes from the thief's.
+func zombieResult() *ShardResult {
+	return &ShardResult{Name: "s0", Scheme: "dagguise", Cycles: 100,
+		DigestA: "zombie", DigestB: "zombie-b", Interference: true}
+}
+
+// thiefResult is the result the stealing peer commits while the zombie
+// is stopped.
+func thiefResult() *ShardResult {
+	return &ShardResult{Name: "s0", Scheme: "dagguise", Cycles: 100,
+		DigestA: "thief", DigestB: "thief", Interference: false}
+}
+
+// TestFleetZombieHelper is not a test: it is the zombie worker body
+// re-executed by TestFleetZombieCommitIsFenced. It claims the lease,
+// signals the parent, waits to be SIGSTOP'd past its TTL and resumed,
+// then tries to commit a stale result — which must fail ErrFenced.
+func TestFleetZombieHelper(t *testing.T) {
+	dir := os.Getenv(zombieEnvDir)
+	if dir == "" {
+		t.Skip("helper process body; driven by TestFleetZombieCommitIsFenced")
+	}
+	lm := NewLeaseManager(dir, 300*time.Millisecond, nil)
+	io := newFSIO(nil, 0, 0)
+	h, err := lm.Acquire("s0", "zombie-w0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zombie: acquire:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zombie-claimed"), nil, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "zombie:", err)
+		os.Exit(1)
+	}
+	// Wait for the parent's go-signal. The SIGSTOP lands somewhere in this
+	// loop; by the time SIGCONT resumes us, the lease has been stolen.
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "zombie-go")); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	err = commitResult(io, lm, h, dir, zombieResult())
+	switch {
+	case errors.Is(err, ErrFenced):
+		os.Exit(0)
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "zombie: stale commit SUCCEEDED")
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "zombie: unexpected commit error:", err)
+		os.Exit(2)
+	}
+}
+
+// TestFleetZombieCommitIsFenced is the satellite subprocess test for the
+// fencing epoch: a worker SIGSTOP'd past its lease TTL, whose shard was
+// stolen and committed by a peer, must fail its own commit with
+// ErrFenced on SIGCONT — and the thief's committed result must be
+// untouched by the attempt.
+func TestFleetZombieCommitIsFenced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess zombie test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestFleetZombieHelper$")
+	cmd.Env = append(os.Environ(), zombieEnvDir+"="+dir)
+	var childOut bytes.Buffer
+	cmd.Stdout = &childOut
+	cmd.Stderr = &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Wait for the zombie's claim, then stop it dead.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "zombie-claimed")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie never claimed; output:\n%s", childOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the 300ms lease lapse (plus grace), steal it and commit.
+	lm := NewLeaseManager(dir, 300*time.Millisecond, nil)
+	io := newFSIO(nil, 0, 0)
+	var thief *Held
+	stealDeadline := time.Now().Add(10 * time.Second)
+	for {
+		h, err := lm.Acquire("s0", "thief-w0")
+		if err == nil {
+			thief = h
+			break
+		}
+		if !errors.Is(err, ErrLeaseHeld) {
+			t.Fatal(err)
+		}
+		if time.Now().After(stealDeadline) {
+			t.Fatal("lease never became stealable")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !thief.Stole() || thief.Epoch() < 2 {
+		t.Fatalf("steal: stole=%v epoch=%d, want a stolen second-generation lease", thief.Stole(), thief.Epoch())
+	}
+	if err := commitResult(io, lm, thief, dir, thiefResult()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(thiefResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the zombie and let it discover the fence.
+	if err := os.WriteFile(filepath.Join(dir, "zombie-go"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("zombie did not exit cleanly (fence not detected?): %v\noutput:\n%s", err, childOut.String())
+	}
+
+	// The committed result is byte-for-byte the thief's.
+	got, err := loadResult(io, dir, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gotBytes) {
+		t.Fatalf("zombie disturbed the committed result:\nwant %s\ngot  %s", want, gotBytes)
+	}
+	// And nothing corrupt was left behind at the result path.
+	if _, err := os.Stat(ResultName(dir, "s0") + CorruptSuffix); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("fenced commit quarantined the committed result")
+	}
+}

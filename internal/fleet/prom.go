@@ -31,6 +31,15 @@ var shardMetrics = []shardMetric{
 	{"dagfleet_shard_resumes_total", "counter",
 		"Restores of the shard from a persisted checkpoint or a crashed fleet.",
 		func(r *Record) float64 { return float64(r.Resumes) }},
+	{"dagfleet_shard_lease_steals_total", "counter",
+		"Expired leases on the shard stolen from dead or stalled owners.",
+		func(r *Record) float64 { return float64(r.Steals) }},
+	{"dagfleet_shard_fenced_commits_total", "counter",
+		"Zombie commits on the shard refused by the lease fencing epoch.",
+		func(r *Record) float64 { return float64(r.Fenced) }},
+	{"dagfleet_shard_lease_epoch", "gauge",
+		"Fencing epoch of the shard's live lease (0 when unclaimed or terminal).",
+		func(r *Record) float64 { return float64(r.Epoch) }},
 }
 
 // shardStates is the fixed label universe of the state gauge, so a

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadManifestRejectsUnknownStatus is the satellite regression test:
+// a hand-edited (or future-version) status string must fail loudly with
+// ErrManifestCorrupt instead of silently never scheduling the record.
+func TestLoadManifestRejectsUnknownStatus(t *testing.T) {
+	s := testSweep(2, 4, 1000)
+	m, err := NewManifest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Replace(blob, []byte(`"pending"`), []byte(`"paused"`), 1)
+	if bytes.Equal(mut, blob) {
+		t.Fatal("fixture: no pending status found to mangle")
+	}
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("got %v, want ErrManifestCorrupt", err)
+	}
+}
+
+// TestReconcileConsultsLeases is the satellite fix test for the resume
+// path: Reconcile must keep running shards whose lease is live (a peer
+// owns them), re-queue only shards whose lease is absent or lapsed, and
+// adopt terminal artifacts (results, failure markers) from the directory.
+func TestReconcileConsultsLeases(t *testing.T) {
+	s := testSweep(2, 4, 1000)
+	s.Seeds = []int64{1, 2} // four shards
+	m, err := NewManifest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	lm, clk := testLM(dir, time.Second)
+	io := newFSIO(nil, 0, 0)
+
+	// Record 0: running under a live peer lease.
+	m.Records[0].Status = StatusRunning
+	peer, err := lm.Acquire(m.Records[0].Shard.Name, "peer-w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 1: running but its owner crashed without a lease.
+	m.Records[1].Status = StatusRunning
+	// Record 2: a peer committed its result.
+	res := &ShardResult{Name: m.Records[2].Shard.Name, Scheme: m.Records[2].Shard.Scheme, Cycles: 1000}
+	if err := commitResult(io, nil, nil, dir, res); err != nil {
+		t.Fatal(err)
+	}
+	// Record 3: a peer durably marked it failed.
+	if err := writeFailed(io, dir, m.Records[3].Shard.Name, "boom", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	requeued := Reconcile(m, dir, lm, io)
+	if len(requeued) != 1 || requeued[0] != m.Records[1].Shard.Name {
+		t.Fatalf("requeued %v, want exactly the lease-less running shard", requeued)
+	}
+	if m.Records[0].Status != StatusRunning || m.Records[0].Owner != "peer-w0" || m.Records[0].Epoch != peer.Epoch() {
+		t.Fatalf("live-leased shard disturbed: %+v", m.Records[0])
+	}
+	if m.Records[1].Status != StatusPending || m.Records[1].Resumes != 1 {
+		t.Fatalf("crashed shard not re-queued: %+v", m.Records[1])
+	}
+	if m.Records[2].Status != StatusDone || m.Records[2].Result == nil {
+		t.Fatalf("committed result not adopted: %+v", m.Records[2])
+	}
+	if m.Records[3].Status != StatusFailed || m.Records[3].Error != "boom" {
+		t.Fatalf("failure marker not adopted: %+v", m.Records[3])
+	}
+
+	// Once the peer's lease lapses, a second reconcile re-queues it too.
+	clk.advance(3 * time.Second)
+	requeued = Reconcile(m, dir, lm, io)
+	if len(requeued) != 1 || requeued[0] != m.Records[0].Shard.Name {
+		t.Fatalf("requeued %v after lease lapse, want the stale peer's shard", requeued)
+	}
+	if m.Records[0].Status != StatusPending || m.Records[0].Owner != "" {
+		t.Fatalf("lapsed-lease shard not re-queued: %+v", m.Records[0])
+	}
+}
+
+// TestRunQuarantinesCorruptManifest pins the robustness path on top of
+// the strict loader: a torn manifest is quarantined and the fleet
+// rebuilds the queue from the directory's authoritative per-shard state
+// instead of aborting the campaign.
+func TestRunQuarantinesCorruptManifest(t *testing.T) {
+	s := testSweep(2, 4, 1500)
+	dir := t.TempDir()
+	first := runSweep(t, s, Options{Workers: 2, Dir: dir})
+	path := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := runSweep(t, s, Options{Workers: 2, Dir: dir})
+	if !bytes.Equal(first, again) {
+		t.Fatal("rebuilt-from-artifacts report differs from the original")
+	}
+	if _, err := os.Stat(path + CorruptSuffix); err != nil {
+		t.Fatalf("torn manifest was not quarantined: %v", err)
+	}
+	// The adopted results meant no shard was re-simulated: the rebuilt
+	// manifest must show every shard done.
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, done, _ := m.Counts()
+	if done != len(m.Records) {
+		t.Fatalf("%d/%d shards done after rebuild", done, len(m.Records))
+	}
+}

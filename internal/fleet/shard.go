@@ -10,6 +10,7 @@ import (
 
 	"dagguise/internal/ckpt"
 	"dagguise/internal/config"
+	"dagguise/internal/fault"
 	"dagguise/internal/sim"
 )
 
@@ -29,6 +30,11 @@ type ShardResult struct {
 	DigestB      string              `json:"digest_b"`
 	Interference bool                `json:"interference"`
 	Counters     sim.ClusterCounters `json:"counters"`
+	// FaultEvents is the size of the shard's derived fault campaign
+	// (absent on clean sweeps, keeping their reports byte-identical to
+	// pre-campaign builds). Like every other field it is a pure function
+	// of the shard descriptor and sweep config.
+	FaultEvents int `json:"fault_events,omitempty"`
 }
 
 // ShardOptions configures one shard execution.
@@ -40,6 +46,15 @@ type ShardOptions struct {
 	Every uint64
 	// SecretA and SecretB are the twin-run secrets.
 	SecretA, SecretB int
+	// Faults, when non-empty, is the shard's fault campaign, attached to
+	// both twins (fault decisions are secret-independent, so the
+	// non-interference verdict carries over to the faulty machine).
+	Faults fault.Schedule
+	// SaveFrame and LoadFrame override the checkpoint IO — the hook the
+	// pool uses to route checkpoints through its storage-fault injection
+	// and quarantine layer. Nil selects ckpt.SaveFrame / ckpt.LoadFrame.
+	SaveFrame func(path string, payload []byte) error
+	LoadFrame func(path string) ([]byte, error)
 	// OnCheckpoint, if set, is called after every durable checkpoint.
 	OnCheckpoint func()
 	// OnResume, if set, is called when a checkpoint frame was restored.
@@ -86,10 +101,22 @@ func RunShard(ctx context.Context, base config.MultiChannelConfig, sh Shard, opt
 	if err != nil {
 		return nil, err
 	}
+	if len(opt.Faults.Events) > 0 {
+		if err := a.AttachFaults(opt.Faults); err != nil {
+			return nil, fmt.Errorf("fleet: shard %s faults: %w", sh.Name, err)
+		}
+		if err := b.AttachFaults(opt.Faults); err != nil {
+			return nil, fmt.Errorf("fleet: shard %s faults: %w", sh.Name, err)
+		}
+	}
+	loadFrame := opt.LoadFrame
+	if loadFrame == nil {
+		loadFrame = ckpt.LoadFrame
+	}
 	ckptPath := ""
 	if opt.Dir != "" {
 		ckptPath = CheckpointName(opt.Dir, sh.Name)
-		if blob, err := ckpt.LoadFrame(ckptPath); err == nil {
+		if blob, err := loadFrame(ckptPath); err == nil {
 			var pair pairState
 			if err := json.Unmarshal(blob, &pair); err != nil {
 				return nil, fmt.Errorf("fleet: shard %s checkpoint: %w", sh.Name, err)
@@ -126,7 +153,7 @@ func RunShard(ctx context.Context, base config.MultiChannelConfig, sh Shard, opt
 			opt.OnChunk(lo, a.Now(), a.Counters())
 		}
 		if ckptPath != "" && a.Now() < sh.Cycles {
-			if err := saveCheckpoint(ckptPath, a, b); err != nil {
+			if err := saveCheckpoint(ckptPath, a, b, opt.SaveFrame); err != nil {
 				return nil, err
 			}
 			if opt.OnCheckpoint != nil {
@@ -145,11 +172,12 @@ func RunShard(ctx context.Context, base config.MultiChannelConfig, sh Shard, opt
 		DigestB:      db,
 		Interference: da != db,
 		Counters:     a.Counters(),
+		FaultEvents:  len(opt.Faults.Events),
 	}, nil
 }
 
 // saveCheckpoint cuts a durable paired snapshot of both twins.
-func saveCheckpoint(path string, a, b *sim.Cluster) error {
+func saveCheckpoint(path string, a, b *sim.Cluster, save func(string, []byte) error) error {
 	sa, err := a.SaveState()
 	if err != nil {
 		return err
@@ -162,5 +190,8 @@ func saveCheckpoint(path string, a, b *sim.Cluster) error {
 	if err != nil {
 		return err
 	}
-	return ckpt.SaveFrame(path, blob)
+	if save == nil {
+		save = ckpt.SaveFrame
+	}
+	return save(path, blob)
 }

@@ -9,6 +9,7 @@ import (
 	"dagguise/internal/audit"
 	"dagguise/internal/config"
 	"dagguise/internal/dram"
+	"dagguise/internal/fault"
 	"dagguise/internal/mem"
 	"dagguise/internal/memctrl"
 	"dagguise/internal/rdag"
@@ -46,6 +47,13 @@ type Cluster struct {
 	nextID  uint64
 	tenants []*clusterTenant
 	chans   []*channelUnit
+
+	// faults answers per-cycle fault queries (nil = clean run). Every
+	// query is keyed on (cycle, domain) only, so twin runs differing only
+	// in secret experience bit-identical fault sequences — the property
+	// that extends the non-interference argument to the faulty machine.
+	faults        *fault.Injector
+	faultDeferred uint64
 }
 
 // clusterTenant is one open-loop security domain. Protected tenants carry
@@ -84,6 +92,9 @@ type channelUnit struct {
 	ctrl    *memctrl.Controller
 	shapers []*shaper.Shaper // indexed by protected-tenant index; nil off DAGguise
 	egress  []mem.Request
+	// deferred holds responses withheld by RespDelay/RespDrop faults,
+	// redelivered in insertion order once their cycle arrives.
+	deferred []DeferredResponse
 }
 
 // NewCluster builds a cluster over the channel slice [chanLo, chanHi) of
@@ -161,6 +172,27 @@ func (c *Cluster) Slice() (lo, hi int) { return c.chanLo, c.chanHi }
 // Now returns the current cycle.
 func (c *Cluster) Now() uint64 { return c.now }
 
+// AttachFaults wires a deterministic fault schedule into the cluster:
+// DRAM stall windows are registered with every channel's device model,
+// and the remaining kinds are consulted cycle by cycle during tick.
+// Attach once, before running (a checkpoint restore replaces the device
+// windows with the saved set, so attach-then-restore is also safe). The
+// same schedule attached to twin clusters produces bit-identical fault
+// sequences regardless of their secrets.
+func (c *Cluster) AttachFaults(sched fault.Schedule) error {
+	in, err := fault.NewInjector(sched)
+	if err != nil {
+		return err
+	}
+	c.faults = in
+	for _, u := range c.chans {
+		for _, w := range in.StallWindows() {
+			u.dev.InjectStallWindow(w.Start, w.End())
+		}
+	}
+	return nil
+}
+
 // gap returns tenant t's next inter-request gap. Protected tenants walk the
 // secret's bits: a set bit stretches the gap by 8x the base (an idle
 // phase), a clear bit keeps the burst pace. The jitter draw is taken
@@ -205,6 +237,12 @@ func (c *Cluster) issue(t *clusterTenant, req mem.Request) bool {
 	}
 	u := c.chans[ch-c.chanLo]
 	if t.protected && c.cfg.Scheme == config.DAGguise {
+		if c.faults != nil && c.faults.ShaperRejects(req.Domain, c.now) {
+			// Backpressure burst: the shaper refuses the enqueue and the
+			// core stalls. The shaped egress stream is unaffected — the
+			// shaper keeps following its defense rDAG.
+			return false
+		}
 		ok, err := u.shapers[t.index].Enqueue(req, c.now)
 		if err != nil {
 			// Routing is exact by construction; a mismatch is a bug.
@@ -263,34 +301,65 @@ func (c *Cluster) deliver(resp mem.Response) {
 	}
 }
 
-// tickChannel advances one channel: shaper emissions stage into the egress
-// FIFO, the FIFO drains into the transaction queue in order, the controller
-// issues and completes, and responses route back through the emitting
-// shaper (which swallows fakes) or directly to the tenant.
+// tickChannel advances one channel: deferred responses whose redelivery
+// cycle arrived dispatch first, shaper emissions stage into the egress
+// FIFO, the FIFO drains into the transaction queue in order (unless an
+// egress-stall fault blocks its head), the controller issues and
+// completes, and responses route back through the emitting shaper (which
+// swallows fakes) or directly to the tenant — unless a RespDelay/RespDrop
+// fault withholds them into the deferred queue.
 func (c *Cluster) tickChannel(u *channelUnit) {
+	if len(u.deferred) > 0 {
+		kept := u.deferred[:0]
+		for _, d := range u.deferred {
+			if d.Until <= c.now {
+				c.dispatch(u, d.Resp)
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		u.deferred = kept
+	}
 	for _, sh := range u.shapers {
 		u.egress = append(u.egress, sh.Tick(c.now)...)
 	}
 	for len(u.egress) > 0 {
+		if c.faults != nil && c.faults.EgressStalled(u.egress[0].Domain, c.now) {
+			break
+		}
 		if !u.ctrl.Enqueue(u.egress[0], c.now) {
 			break
 		}
 		u.egress = u.egress[1:]
 	}
 	for _, resp := range u.ctrl.Tick(c.now) {
-		idx := int(resp.Domain) - 1
-		if c.cfg.Scheme == config.DAGguise && idx >= 0 && idx < c.cfg.Protected {
-			real, err := u.shapers[idx].OnResponse(resp, c.now)
-			if err != nil {
-				panic(err)
+		if c.faults != nil {
+			if until, ok := c.faults.DeferResponse(resp.Domain, c.now); ok {
+				u.deferred = append(u.deferred, DeferredResponse{Until: until, Resp: resp})
+				c.faultDeferred++
+				continue
 			}
-			if real {
-				c.deliver(resp)
-			}
-			continue
 		}
-		c.deliver(resp)
+		c.dispatch(u, resp)
 	}
+}
+
+// dispatch routes one completed response to its consumer: the emitting
+// shaper for protected domains under DAGguise (late redeliveries
+// included), the tenant directly otherwise.
+func (c *Cluster) dispatch(u *channelUnit, resp mem.Response) {
+	idx := int(resp.Domain) - 1
+	if c.cfg.Scheme == config.DAGguise && idx >= 0 && idx < c.cfg.Protected {
+		real, err := u.shapers[idx].OnResponse(resp, c.now)
+		if err != nil {
+			panic(err)
+		}
+		if real {
+			c.deliver(resp)
+		}
+		return
+	}
+	c.deliver(resp)
 }
 
 // Tick advances the cluster one cycle.
@@ -349,6 +418,10 @@ type ClusterCounters struct {
 	ShaperFakes     uint64   `json:"shaper_fakes"`
 	TapSamples      uint64   `json:"tap_samples"`
 	ChannelIssued   []uint64 `json:"channel_issued"`
+	// Fault-campaign counters (zero — and absent from the JSON — on
+	// clean runs, so clean reports are byte-identical to older ones).
+	FaultDeferred  uint64 `json:"fault_deferred,omitempty"`
+	FaultStallHits uint64 `json:"fault_stall_hits,omitempty"`
 }
 
 // Counters returns the cluster's aggregate counters.
@@ -363,8 +436,10 @@ func (c *Cluster) Counters() ClusterCounters {
 			out.TapSamples += uint64(t.tap.Len())
 		}
 	}
+	out.FaultDeferred = c.faultDeferred
 	for _, u := range c.chans {
 		out.ChannelIssued = append(out.ChannelIssued, u.ctrl.Stats().Issued)
+		out.FaultStallHits += u.dev.InjectedStallHits()
 		for _, sh := range u.shapers {
 			st := sh.Stats()
 			out.ShaperForwarded += st.Forwarded

@@ -28,14 +28,22 @@ type ClusterTenantState struct {
 	Tap         []audit.Sample `json:"tap,omitempty"`
 }
 
+// DeferredResponse is one response withheld by a RespDelay/RespDrop
+// fault, redelivered at cycle Until.
+type DeferredResponse struct {
+	Until uint64       `json:"until"`
+	Resp  mem.Response `json:"resp"`
+}
+
 // ClusterChannelState is one channel's mutable state: the DRAM device, the
-// controller, the staged shaper egress and the per-protected-tenant
-// shapers in tenant order.
+// controller, the staged shaper egress, fault-deferred responses and the
+// per-protected-tenant shapers in tenant order.
 type ClusterChannelState struct {
 	Index      int                     `json:"index"`
 	Device     dram.DeviceState        `json:"device"`
 	Controller memctrl.ControllerState `json:"controller"`
 	Egress     []mem.Request           `json:"egress,omitempty"`
+	Deferred   []DeferredResponse      `json:"deferred,omitempty"`
 	Shapers    []shaper.State          `json:"shapers,omitempty"`
 }
 
@@ -52,6 +60,9 @@ type ClusterState struct {
 	NextID  uint64                `json:"next_id"`
 	Tenants []ClusterTenantState  `json:"tenants"`
 	Chans   []ClusterChannelState `json:"chans"`
+	// FaultDeferred counts responses withheld by injected faults (absent
+	// on clean runs, keeping their state encoding unchanged).
+	FaultDeferred uint64 `json:"fault_deferred,omitempty"`
 }
 
 // SaveState captures the cluster's full mutable state.
@@ -61,6 +72,7 @@ func (c *Cluster) SaveState() (*ClusterState, error) {
 		ChanLo: c.chanLo, ChanHi: c.chanHi,
 		Seed: c.seed, Secret: c.secret,
 		Now: c.now, NextID: c.nextID,
+		FaultDeferred: c.faultDeferred,
 	}
 	for _, t := range c.tenants {
 		ts := ClusterTenantState{
@@ -87,6 +99,7 @@ func (c *Cluster) SaveState() (*ClusterState, error) {
 			Device:     u.dev.SaveState(),
 			Controller: u.ctrl.SaveState(),
 			Egress:     append([]mem.Request(nil), u.egress...),
+			Deferred:   append([]DeferredResponse(nil), u.deferred...),
 		}
 		for _, sh := range u.shapers {
 			ss, err := sh.SaveState()
@@ -161,6 +174,7 @@ func (c *Cluster) RestoreState(st *ClusterState) error {
 			return err
 		}
 		u.egress = append(u.egress[:0], cs.Egress...)
+		u.deferred = append(u.deferred[:0], cs.Deferred...)
 		for j, ss := range cs.Shapers {
 			if err := u.shapers[j].RestoreState(ss); err != nil {
 				return err
@@ -169,5 +183,6 @@ func (c *Cluster) RestoreState(st *ClusterState) error {
 	}
 	c.now = st.Now
 	c.nextID = st.NextID
+	c.faultDeferred = st.FaultDeferred
 	return nil
 }
